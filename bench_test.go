@@ -1,0 +1,262 @@
+// Root benchmark harness: one benchmark per figure of the paper's
+// evaluation (the same code paths as the cmd/* tools, so `go test -bench=.`
+// regenerates every result), plus ablation benchmarks for the design
+// decisions called out in DESIGN.md. Figure benches print their tables once
+// on the first iteration; runtime-oriented benches report per-op costs.
+package strdict_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"strdict/internal/bitcomp"
+	"strdict/internal/datagen"
+	"strdict/internal/dict"
+	"strdict/internal/experiments"
+	"strdict/internal/model"
+	"strdict/internal/sysstat"
+)
+
+// figureOut prints a figure's table once per process, keeping -bench output
+// readable across b.N calibration runs.
+var figurePrinted sync.Map
+
+func figureWriter(name string) io.Writer {
+	if _, loaded := figurePrinted.LoadOrStore(name, true); loaded {
+		return io.Discard
+	}
+	return os.Stdout
+}
+
+func BenchmarkFigure1SystemStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range sysstat.Names() {
+			s := sysstat.Generate(name, 1)
+			s.DecadeShares()
+		}
+	}
+	experiments.Figures1And2(figureWriter("fig1"), 1)
+}
+
+func BenchmarkFigure2MemoryShare(b *testing.B) {
+	s := sysstat.Generate("ERP System 1", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LargeDictMemoryShare(100_000)
+	}
+	mem, cols := s.LargeDictMemoryShare(100_000)
+	fmt.Fprintf(figureWriter("fig2"),
+		"Figure 2 headline: %.1f%% of memory in >1e5-entry dictionaries (%.3f%% of columns)\n",
+		mem*100, cols*100)
+}
+
+func BenchmarkFigure3TradeoffSrc(b *testing.B) {
+	strs := datagen.Generate("src", 10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Survey(strs, 5000, 1)
+	}
+	b.StopTimer()
+	experiments.Figure3(figureWriter("fig3"), 10000, 1)
+}
+
+func BenchmarkFigure4BestCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(io.Discard, 4000, 1)
+	}
+	experiments.Figure4(figureWriter("fig4"), 4000, 1)
+}
+
+func BenchmarkFigure5FastestExtract(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5(io.Discard, 4000, 1)
+	}
+	experiments.Figure5(figureWriter("fig5"), 4000, 1)
+}
+
+func BenchmarkFigure6PredictionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PredictionErrors(6000, -1, 1)
+	}
+	experiments.Figure6(figureWriter("fig6"), 6000, 1)
+}
+
+func BenchmarkFigure9Selection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(io.Discard, 4000, 1, 0.5)
+	}
+	experiments.Figure9(figureWriter("fig9"), 4000, 1, 0.5)
+}
+
+// tpchExperiment is shared by the two TPC-H figure benches (loading and
+// tracing dominate, and both figures reuse one trace in the paper too).
+var (
+	tpchOnce sync.Once
+	tpchExp  *experiments.TPCHExperiment
+)
+
+func sharedTPCH() *experiments.TPCHExperiment {
+	tpchOnce.Do(func() {
+		tpchExp = experiments.NewTPCHExperiment(experiments.TPCHConfig{
+			ScaleFactor: 0.01,
+			Seed:        1,
+			TraceReps:   1,
+			MeasureReps: 1,
+			CValues:     experiments.LogRange(1e-3, 10, 5),
+			SampleRatio: 0.05,
+		})
+	})
+	return tpchExp
+}
+
+func BenchmarkFigure10TPCHTradeoff(b *testing.B) {
+	e := sharedTPCH()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10(figureWriter("fig10"), e)
+	}
+}
+
+func BenchmarkFigure11FormatDistribution(b *testing.B) {
+	e := sharedTPCH()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure11(figureWriter("fig11"), e)
+	}
+}
+
+// --- ablations ---
+
+// BenchmarkAblationFCBlockSize quantifies the front-coding block-size
+// trade-off: bigger blocks compress better but walk longer on extract.
+func BenchmarkAblationFCBlockSize(b *testing.B) {
+	strs := datagen.Generate("url", 20000, 1)
+	for _, bs := range []int{4, 8, 16, 32, 64} {
+		d, err := dict.BuildWithFCBlockSize(dict.FCBlock, strs, bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("block=%d", bs), func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = d.AppendExtract(buf[:0], uint32(i*2654435761)%uint32(d.Len()))
+			}
+			b.ReportMetric(float64(d.Bytes()), "dict-bytes")
+		})
+	}
+}
+
+// BenchmarkAblationLocateEncoded compares the encoded-domain locate fast
+// path of order-preserving array schemes against the generic
+// extract-and-compare binary search on the same dictionary.
+func BenchmarkAblationLocateEncoded(b *testing.B) {
+	strs := datagen.Generate("mat", 20000, 1)
+	for _, f := range []dict.Format{dict.Array, dict.ArrayBC, dict.ArrayHU} {
+		d := dict.BuildUnchecked(f, strs)
+		b.Run(f.String()+"/encoded", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Locate(strs[(i*2654435761)%len(strs)])
+			}
+		})
+		b.Run(f.String()+"/generic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dict.GenericLocate(d, strs[(i*2654435761)%len(strs)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEOSvsLength compares self-delimiting (EOS-terminated)
+// decoding against decoding with an externally stored length, plus the
+// space the EOS symbol costs. The EOS design wins on space for short
+// strings (one code ≤ 1 byte vs a 2-byte length) at a tiny decode cost.
+func BenchmarkAblationEOSvsLength(b *testing.B) {
+	strs := datagen.Generate("asc", 10000, 1)
+	parts := make([][]byte, len(strs))
+	for i, s := range strs {
+		parts[i] = []byte(s)
+	}
+	c := bitcomp.Train(parts)
+	enc := c.Encode(nil, parts[0])
+	n := len(parts[0])
+
+	b.Run("decode-eos", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = c.Decode(buf[:0], enc)
+		}
+	})
+	b.Run("decode-length", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = c.DecodeN(buf[:0], enc, n)
+		}
+	})
+	// Space accounting: EOS costs width bits per string; an external length
+	// would cost 16 bits per string.
+	eosBits := float64(c.Width())
+	b.Run("space", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = eosBits
+		}
+		b.ReportMetric(eosBits, "eos-bits/string")
+		b.ReportMetric(16, "len-bits/string")
+	})
+}
+
+// BenchmarkAblationSampleRatio shows estimation cost scaling with the
+// sampling ratio — the knob Figure 6 sweeps.
+func BenchmarkAblationSampleRatio(b *testing.B) {
+	strs := datagen.Generate("1gram", 60000, 1)
+	for _, ratio := range []float64{0.01, 0.1, 1.0} {
+		b.Run(fmt.Sprintf("ratio=%g", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := model.TakeSample(strs, ratio, int64(i))
+				for _, f := range dict.AllFormats() {
+					model.EstimateSize(f, s)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineHash reproduces the paper's Section 3.2 comparison that
+// led to hashing being excluded from the survey: locate is fast, but the
+// hash table's space overhead loses to even the plain array, and extract
+// gains nothing.
+func BenchmarkBaselineHash(b *testing.B) {
+	strs := datagen.Generate("engl", 20000, 1)
+	h, err := dict.BuildHash(strs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := dict.BuildUnchecked(dict.Array, strs)
+
+	b.Run("hash/locate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Locate(strs[(i*2654435761)%len(strs)])
+		}
+		b.ReportMetric(float64(h.Bytes()), "dict-bytes")
+	})
+	b.Run("array/locate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.Locate(strs[(i*2654435761)%len(strs)])
+		}
+		b.ReportMetric(float64(a.Bytes()), "dict-bytes")
+	})
+	b.Run("hash/extract", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = h.AppendExtract(buf[:0], uint32(i*2654435761)%uint32(h.Len()))
+		}
+	})
+	b.Run("array/extract", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = a.AppendExtract(buf[:0], uint32(i*2654435761)%uint32(a.Len()))
+		}
+	})
+}

@@ -1,0 +1,63 @@
+// Command dictbench regenerates the dictionary-survey figures of the paper:
+//
+//	-figure 3   compression rate vs extract runtime of all 18 variants (src)
+//	-figure 4   best compression rates per data set
+//	-figure 5   fastest extract runtimes per data set
+//	-figure 9   the selection-strategy illustration of Section 5.4
+//	-figure locate      locate-time survey (the paper defers this to [33])
+//	-figure construct   construction-time survey (also from [33])
+//	-figure calibrate   re-measure the runtime-constant table (Section 4.1)
+//
+// Usage:
+//
+//	dictbench -figure 3 [-n strings] [-seed N] [-c tradeoff]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strdict/internal/datagen"
+	"strdict/internal/dict"
+	"strdict/internal/experiments"
+	"strdict/internal/model"
+)
+
+func main() {
+	figure := flag.String("figure", "3", "figure to regenerate: 3, 4, 5, 9, locate, construct or calibrate")
+	n := flag.Int("n", 20000, "strings per synthetic corpus")
+	seed := flag.Int64("seed", 1, "random seed")
+	c := flag.Float64("c", 0.5, "trade-off parameter for figure 9")
+	flag.Parse()
+
+	switch *figure {
+	case "3":
+		experiments.Figure3(os.Stdout, *n, *seed)
+	case "4":
+		experiments.Figure4(os.Stdout, *n, *seed)
+	case "5":
+		experiments.Figure5(os.Stdout, *n, *seed)
+	case "9":
+		experiments.Figure9(os.Stdout, *n, *seed, *c)
+	case "locate":
+		experiments.FigureLocate(os.Stdout, *n, *seed)
+	case "construct":
+		experiments.FigureConstruct(os.Stdout, *n, *seed)
+	case "calibrate":
+		corpora := [][]string{
+			datagen.Generate("engl", 4000, *seed),
+			datagen.Generate("mat", 4000, *seed),
+			datagen.Generate("url", 4000, *seed),
+		}
+		table := model.Calibrate(corpora)
+		fmt.Println("runtime constants (ns): extract, locate, construct/string")
+		for _, f := range dict.AllFormats() {
+			cst := table.Of(f)
+			fmt.Printf("%-16s %10.1f %10.1f %10.1f\n", f, cst.ExtractNs, cst.LocateNs, cst.ConstructNs)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,23 @@
+// Command predbench regenerates Figure 6 of the paper: box plots of the
+// relative error of the dictionary size predictions for sampling ratios
+// 100%, 10%, 1% and max(1%, 5000 strings), over all (variant, data set)
+// pairs.
+//
+// Usage:
+//
+//	predbench [-n strings] [-seed N]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"strdict/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "strings per synthetic corpus")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	experiments.Figure6(os.Stdout, *n, *seed)
+}

@@ -1,0 +1,199 @@
+// Command strdict is the library's end-user utility: build compressed
+// dictionaries from newline-separated value files, inspect serialized
+// dictionaries, convert between formats, and probe values.
+//
+// Usage:
+//
+//	strdict build  -format "fc block" -in values.txt -out dict.sdic
+//	strdict info   -in dict.sdic
+//	strdict best   -in values.txt [-sample 0.01]
+//	strdict get    -in dict.sdic -id 42
+//	strdict locate -in dict.sdic -value "needle"
+//	strdict convert -in dict.sdic -format "array rp 12" -out small.sdic
+//	strdict advise -in values.txt [-extracts N] [-locates N] [-lifetime-ms N]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"strdict"
+	"strdict/internal/core"
+	"strdict/internal/model"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	out := fs.String("out", "", "output file")
+	formatName := fs.String("format", "fc block", "dictionary format name")
+	id := fs.Uint("id", 0, "value ID for get")
+	value := fs.String("value", "", "string for locate")
+	sample := fs.Float64("sample", 0.01, "sampling ratio for best")
+	extracts := fs.Uint64("extracts", 100000, "expected extracts per lifetime (advise)")
+	locates := fs.Uint64("locates", 1000, "expected locates per lifetime (advise)")
+	lifetimeMs := fs.Float64("lifetime-ms", 60000, "merge interval in milliseconds (advise)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "build":
+		strs := readValues(*in)
+		format := parseFormat(*formatName)
+		d, err := strdict.Build(format, strs)
+		check(err)
+		blob, err := strdict.Marshal(d)
+		check(err)
+		check(os.WriteFile(*out, blob, 0o644))
+		fmt.Printf("built %s: %d strings, %d bytes in memory, %d bytes on disk\n",
+			format, d.Len(), d.Bytes(), len(blob))
+
+	case "info":
+		d := readDict(*in)
+		fmt.Printf("format:  %s\n", d.Format())
+		fmt.Printf("entries: %d\n", d.Len())
+		fmt.Printf("bytes:   %d\n", d.Bytes())
+		if d.Len() > 0 {
+			fmt.Printf("first:   %q\n", d.Extract(0))
+			fmt.Printf("last:    %q\n", d.Extract(uint32(d.Len()-1)))
+		}
+
+	case "best":
+		strs := readValues(*in)
+		s := strdict.TakeSample(strs, *sample, 1)
+		type row struct {
+			f    strdict.Format
+			size uint64
+		}
+		var rows []row
+		for _, f := range strdict.AllFormats() {
+			rows = append(rows, row{f, strdict.EstimateSize(f, s)})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].size < rows[j].size })
+		fmt.Printf("predicted sizes for %d strings (sample ratio %g):\n", len(strs), *sample)
+		for _, r := range rows {
+			fmt.Printf("  %-16s %12d bytes\n", r.f, r.size)
+		}
+
+	case "get":
+		d := readDict(*in)
+		if int(*id) >= d.Len() {
+			fail("id %d out of range (0..%d)", *id, d.Len()-1)
+		}
+		fmt.Println(d.Extract(uint32(*id)))
+
+	case "locate":
+		d := readDict(*in)
+		lid, found := d.Locate(*value)
+		if found {
+			fmt.Printf("found: id %d\n", lid)
+		} else if int(lid) < d.Len() {
+			fmt.Printf("absent: next greater is id %d (%q)\n", lid, d.Extract(lid))
+		} else {
+			fmt.Println("absent: greater than every entry")
+		}
+
+	case "advise":
+		strs := readValues(*in)
+		stats := core.ColumnStats{
+			Name:       *in,
+			NumStrings: uint64(len(strs)),
+			Extracts:   *extracts,
+			Locates:    *locates,
+			LifetimeNs: *lifetimeMs * 1e6,
+			Sample:     model.TakeSample(strs, *sample, 1),
+		}
+		core.Advise(stats, model.DefaultCostTable(), nil).WriteReport(os.Stdout, *in)
+
+	case "convert":
+		d := readDict(*in)
+		strs := make([]string, d.Len())
+		var buf []byte
+		for i := range strs {
+			buf = d.AppendExtract(buf[:0], uint32(i))
+			strs[i] = string(buf)
+		}
+		format := parseFormat(*formatName)
+		nd, err := strdict.Build(format, strs)
+		check(err)
+		blob, err := strdict.Marshal(nd)
+		check(err)
+		check(os.WriteFile(*out, blob, 0o644))
+		fmt.Printf("converted %s (%d bytes) -> %s (%d bytes)\n",
+			d.Format(), d.Bytes(), nd.Format(), nd.Bytes())
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: strdict <build|info|best|get|locate|convert|advise> [flags]")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseFormat(name string) strdict.Format {
+	f, err := strdict.ParseFormat(name)
+	if err != nil {
+		var names []string
+		for _, ff := range strdict.AllFormats() {
+			names = append(names, fmt.Sprintf("%q", ff))
+		}
+		fail("%v\nknown formats: %s", err, strings.Join(names, ", "))
+	}
+	return f
+}
+
+func readValues(path string) []string {
+	if path == "" {
+		fail("missing -in")
+	}
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	seen := make(map[string]bool)
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !seen[line] && !strings.ContainsRune(line, 0) {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+	check(sc.Err())
+	sort.Strings(out)
+	return out
+}
+
+func readDict(path string) strdict.Dictionary {
+	if path == "" {
+		fail("missing -in")
+	}
+	blob, err := os.ReadFile(path)
+	check(err)
+	d, err := strdict.Unmarshal(blob)
+	check(err)
+	return d
+}

@@ -1,0 +1,21 @@
+// Command sysstats regenerates Figures 1 and 2 of the paper: the
+// distribution of dictionary sizes and of dictionary memory consumption
+// across the synthetic ERP/BW system catalogs.
+//
+// Usage:
+//
+//	sysstats [-seed N]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"strdict/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for the synthetic catalogs")
+	flag.Parse()
+	experiments.Figures1And2(os.Stdout, *seed)
+}

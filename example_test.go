@@ -1,0 +1,89 @@
+package strdict_test
+
+import (
+	"fmt"
+	"sort"
+
+	"strdict"
+)
+
+// The locate operation answers point predicates with one dictionary probe;
+// absent values return the insertion point (Definition 1 of the paper).
+func ExampleDictionary_locate() {
+	d, _ := strdict.Build(strdict.Array, []string{"apple", "cherry", "plum"})
+	id, found := d.Locate("cherry")
+	fmt.Println(id, found)
+	id, found = strdict.Dictionary.Locate(d, "banana")
+	fmt.Println(id, found)
+	// Output:
+	// 1 true
+	// 1 false
+}
+
+// ForEach walks a dictionary in value-ID order far faster than repeated
+// Extract calls on block-based formats.
+func ExampleDictionary_forEach() {
+	d, _ := strdict.Build(strdict.FCInline, []string{"aa", "ab", "ac"})
+	d.ForEach(func(id uint32, value []byte) bool {
+		fmt.Printf("%d=%s ", id, value)
+		return true
+	})
+	// Output: 0=aa 1=ab 2=ac
+}
+
+// Select applies a trade-off strategy to a candidate set; with c = 0 only
+// the smallest variant is admitted, large c admits the fastest.
+func ExampleSelect() {
+	cands := []strdict.Candidate{
+		{Format: strdict.ArrayFixed, SizeBytes: 1000, RelTime: 0.01},
+		{Format: strdict.FCBlockRP12, SizeBytes: 300, RelTime: 0.4},
+	}
+	fmt.Println(strdict.Select(strdict.StrategyConst, 0, cands).Format)
+	fmt.Println(strdict.Select(strdict.StrategyConst, 10, cands).Format)
+	// Output:
+	// fc block rp 12
+	// array fixed
+}
+
+// Marshal/Unmarshal round-trip a dictionary through its binary form.
+func ExampleMarshal() {
+	d, _ := strdict.Build(strdict.FCBlock, []string{"x", "y", "z"})
+	blob, _ := strdict.Marshal(d)
+	restored, _ := strdict.Unmarshal(blob)
+	fmt.Println(restored.Format(), restored.Extract(2))
+	// Output: fc block z
+}
+
+// A MergeScheduler folds deltas into the read-optimized store and can
+// consult a Manager for the format at every merge.
+func ExampleNewMergeScheduler() {
+	store := strdict.NewStore()
+	col := store.AddTable("t").AddString("c", strdict.Array)
+	for i := 0; i < 10; i++ {
+		col.Append(fmt.Sprintf("v%d", i%3))
+	}
+	sched := strdict.NewMergeScheduler(store, 5)
+	sched.Chooser = func(c *strdict.StringColumn, lifetimeNs float64) strdict.Format {
+		return strdict.ArrayFixed
+	}
+	fmt.Println(sched.Tick())
+	fmt.Println(col.Format(), col.DictLen())
+	// Output:
+	// [t.c]
+	// array fixed 3
+}
+
+// TakeSample + EstimateSize predict a format's size from a fraction of the
+// column.
+func ExampleTakeSample() {
+	var column []string
+	for i := 0; i < 10000; i++ {
+		column = append(column, fmt.Sprintf("order-%06d", i))
+	}
+	sort.Strings(column)
+	sample := strdict.TakeSample(column, 0.01, 1)
+	d, _ := strdict.Build(strdict.ArrayFixed, column)
+	predicted := strdict.EstimateSize(strdict.ArrayFixed, sample)
+	fmt.Println(predicted == d.Bytes())
+	// Output: true
+}

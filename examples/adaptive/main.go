@@ -1,0 +1,73 @@
+// Adaptive: an end-to-end demonstration of the compression manager on a
+// small column store — two columns with opposite usage patterns, a memory
+// budget, and the feedback loop steering the trade-off parameter c.
+package main
+
+import (
+	"fmt"
+
+	"strdict"
+)
+
+func main() {
+	store := strdict.NewStore()
+	tbl := store.AddTable("events")
+
+	// A hot column: short status codes read on every request.
+	status := tbl.AddString("status", strdict.FCInline)
+	// A cold column: long session identifiers, mostly written and archived.
+	session := tbl.AddString("session_id", strdict.FCInline)
+
+	for i := 0; i < 50_000; i++ {
+		status.Append([]string{"OK", "RETRY", "FAILED", "TIMEOUT", "DROPPED"}[i%5])
+		session.Append(fmt.Sprintf("sess-%08x-%08x", i*2654435761, i))
+	}
+	tbl.MergeAll()
+	store.ResetStats()
+
+	// Trace a workload: the status column is read constantly, the session
+	// column almost never.
+	for i := 0; i < 200_000; i++ {
+		_ = status.Get(i % status.Len())
+	}
+	for i := 0; i < 50; i++ {
+		_ = session.Get(i * 997 % session.Len())
+	}
+
+	mgr := strdict.NewManager(strdict.ManagerOptions{
+		DesiredFreeBytes: 512 << 20,
+		Strategy:         strdict.StrategyTilt,
+	})
+
+	// Simulate memory pressure: the feedback loop lowers c, which makes the
+	// manager favour compression.
+	fmt.Println("feeding low free-memory observations...")
+	for i := 0; i < 15; i++ {
+		mgr.ObserveFreeMemory(128 << 20)
+	}
+	fmt.Printf("c after pressure: %.4f\n", mgr.C())
+
+	lifetime := 60e9 // one minute between merges
+	cfg := strdict.Reconfigure(store, mgr, lifetime, 1.0, 1)
+	fmt.Println("\nchosen formats under memory pressure:")
+	for col, f := range cfg {
+		fmt.Printf("  %-18s -> %s\n", col, f)
+	}
+	fmt.Printf("dictionary bytes: status=%d session=%d\n",
+		status.DictBytes(), session.DictBytes())
+
+	// Memory recovers: c rises, speed wins again.
+	fmt.Println("\nfeeding high free-memory observations...")
+	for i := 0; i < 40; i++ {
+		mgr.ObserveFreeMemory(2048 << 20)
+	}
+	fmt.Printf("c after recovery: %.4f\n", mgr.C())
+
+	cfg = strdict.Reconfigure(store, mgr, lifetime, 1.0, 1)
+	fmt.Println("\nchosen formats with plenty of memory:")
+	for col, f := range cfg {
+		fmt.Printf("  %-18s -> %s\n", col, f)
+	}
+	fmt.Printf("dictionary bytes: status=%d session=%d\n",
+		status.DictBytes(), session.DictBytes())
+}

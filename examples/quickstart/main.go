@@ -1,0 +1,50 @@
+// Quickstart: build a compressed string dictionary, look values up in both
+// directions, and compare the footprint of a few formats.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"strdict"
+)
+
+func main() {
+	// A dictionary takes the sorted distinct values of a column.
+	cities := []string{
+		"Amsterdam", "Athens", "Berlin", "Bratislava", "Brussels",
+		"Bucharest", "Budapest", "Copenhagen", "Dublin", "Helsinki",
+		"Lisbon", "Ljubljana", "Luxembourg", "Madrid", "Nicosia",
+		"Paris", "Prague", "Riga", "Rome", "Sofia", "Stockholm",
+		"Tallinn", "Valletta", "Vienna", "Vilnius", "Warsaw", "Zagreb",
+	}
+	sort.Strings(cities)
+
+	d, err := strdict.Build(strdict.FCBlock, cities)
+	if err != nil {
+		panic(err)
+	}
+
+	// locate: string -> value ID (the string's rank).
+	id, found := d.Locate("Paris")
+	fmt.Printf("locate(Paris)  = id %d, found %v\n", id, found)
+
+	// extract: value ID -> string.
+	fmt.Printf("extract(%d)    = %s\n", id, d.Extract(id))
+
+	// Absent strings return the ID of the first greater entry.
+	id, found = d.Locate("Oslo")
+	fmt.Printf("locate(Oslo)   = id %d, found %v (next: %s)\n", id, found, d.Extract(id))
+
+	// Every format trades space against access time differently.
+	fmt.Println("\nformat            bytes  compression")
+	for _, f := range []strdict.Format{
+		strdict.Array, strdict.ArrayFixed, strdict.FCBlock, strdict.FCBlockRP12,
+	} {
+		dd, err := strdict.Build(f, cities)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s %6d  %10.2f\n", f, dd.Bytes(), strdict.CompressionRate(dd, cities))
+	}
+}

@@ -1,0 +1,62 @@
+// TPC-H: load a small string-key TPC-H instance, run a few queries, and
+// compare a fixed dictionary format against the compression manager's
+// workload-driven configuration.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"strdict"
+	"strdict/internal/tpch"
+)
+
+func main() {
+	fmt.Println("loading TPC-H (scale factor 0.01, string keys)...")
+	store := tpch.Load(tpch.Config{
+		ScaleFactor:   0.01,
+		Seed:          42,
+		InitialFormat: strdict.FCInline,
+	})
+	for _, name := range store.TableNames() {
+		fmt.Printf("  %-10s %8d rows\n", name, store.Tables[name].Rows())
+	}
+
+	fmt.Println("\nQ1 — pricing summary:")
+	res := tpch.Queries()[0].Run(store)
+	for _, row := range res.Rows {
+		fmt.Printf("  %v\n", row)
+	}
+
+	fmt.Println("\nQ6 — forecast revenue change:")
+	fmt.Printf("  revenue = %s\n", tpch.Queries()[5].Run(store).Rows[0][0])
+
+	// Trace the full 22-query workload.
+	lifetime := tpch.TraceWorkload(store, 1)
+	fmt.Printf("\ntraced workload in %v\n", lifetime.Round(time.Millisecond))
+
+	baselineMem := store.Bytes()
+	baselineTime := tpch.RunWorkload(store, 3)
+
+	// Let the manager compress aggressively.
+	mgr := strdict.NewManager(strdict.ManagerOptions{DesiredFreeBytes: 1 << 30})
+	mgr.SetC(0.01)
+	cfg := tpch.Reconfigure(store, mgr, float64(lifetime), 0.05, 1)
+
+	adaptedMem := store.Bytes()
+	adaptedTime := tpch.RunWorkload(store, 3)
+
+	fmt.Printf("\nfixed fc inline : %8.2f MiB, workload %v\n",
+		float64(baselineMem)/(1<<20), baselineTime.Round(time.Millisecond))
+	fmt.Printf("adaptive c=0.01 : %8.2f MiB, workload %v\n",
+		float64(adaptedMem)/(1<<20), adaptedTime.Round(time.Millisecond))
+
+	counts := make(map[strdict.Format]int)
+	for _, f := range cfg {
+		counts[f]++
+	}
+	fmt.Println("\nformats chosen:")
+	for f, n := range counts {
+		fmt.Printf("  %-16s %2d columns\n", f, n)
+	}
+}

@@ -1,0 +1,3 @@
+module strdict
+
+go 1.22

@@ -1,0 +1,100 @@
+package bitcomp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	parts := [][]byte{[]byte("0123456789"), []byte("0042"), nil}
+	c := Train(parts)
+	if c.AlphabetSize() != 10 {
+		t.Fatalf("alphabet size %d, want 10", c.AlphabetSize())
+	}
+	if c.Width() != 4 { // 10 chars + EOS -> 11 values -> 4 bits
+		t.Fatalf("width %d, want 4", c.Width())
+	}
+	for _, p := range parts {
+		enc := c.Encode(nil, p)
+		if dec := c.Decode(nil, enc); !bytes.Equal(dec, p) {
+			t.Errorf("round trip %q -> %q", p, dec)
+		}
+	}
+}
+
+func TestCompressionRatioDigits(t *testing.T) {
+	// Digits need 4 bits/char: an 18-char string encodes in ceil(19*4/8)=10 bytes.
+	c := Train([][]byte{[]byte("0123456789")})
+	enc := c.Encode(nil, []byte("123456789012345678"))
+	if len(enc) != 10 {
+		t.Fatalf("encoded %d bytes, want 10", len(enc))
+	}
+}
+
+func TestOrderPreservation(t *testing.T) {
+	c := Train([][]byte{[]byte("abcdefghijklmnopqrstuvwxyz")})
+	enc := func(s string) []byte { return c.Encode(nil, []byte(s)) }
+	cases := [][2]string{
+		{"abc", "abd"}, {"abc", "abcd"}, {"", "a"}, {"m", "z"},
+	}
+	for _, cse := range cases {
+		if bytes.Compare(enc(cse[0]), enc(cse[1])) >= 0 {
+			t.Errorf("order violated: enc(%q) >= enc(%q)", cse[0], cse[1])
+		}
+	}
+}
+
+func TestOrderPreservationQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := make([]byte, 2048)
+	rng.Read(train)
+	c := Train([][]byte{train})
+	f := func(a, b []byte) bool {
+		ea, eb := c.Encode(nil, a), c.Encode(nil, b)
+		cmpO, cmpE := bytes.Compare(a, b), bytes.Compare(ea, eb)
+		if cmpO == 0 {
+			return cmpE == 0
+		}
+		return (cmpO < 0) == (cmpE < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUntrainedCharPanics(t *testing.T) {
+	c := Train([][]byte{[]byte("abc")})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Encode(nil, []byte("x"))
+}
+
+func TestFullByteAlphabet(t *testing.T) {
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	c := Train([][]byte{all})
+	if c.Width() != 9 { // 256 chars + EOS needs 9 bits
+		t.Fatalf("width %d, want 9", c.Width())
+	}
+	enc := c.Encode(nil, all)
+	if dec := c.Decode(nil, enc); !bytes.Equal(dec, all) {
+		t.Fatal("round trip failed for full alphabet")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c := Train([][]byte{[]byte("0123456789")})
+	enc := c.Encode(nil, []byte("998877665544332211"))
+	buf := make([]byte, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Decode(buf[:0], enc)
+	}
+}

@@ -1,0 +1,244 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want uint
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{1<<32 - 1, 32}, {1 << 32, 33}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := Width(c.v); got != c.want {
+			t.Errorf("Width(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBit(1)
+	w.WriteBits(0, 5)
+	w.WriteBits(^uint64(0), 64)
+
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Errorf("ReadBits(3) = %#b", got)
+	}
+	if got := r.ReadBits(16); got != 0xABCD {
+		t.Errorf("ReadBits(16) = %#x", got)
+	}
+	if got := r.ReadBit(); got != 1 {
+		t.Errorf("ReadBit() = %d", got)
+	}
+	if got := r.ReadBits(5); got != 0 {
+		t.Errorf("ReadBits(5) = %d", got)
+	}
+	if got := r.ReadBits(64); got != ^uint64(0) {
+		t.Errorf("ReadBits(64) = %#x", got)
+	}
+}
+
+func TestWriterAlign(t *testing.T) {
+	var w Writer
+	w.WriteBits(1, 3)
+	w.Align()
+	if w.Len() != 8 {
+		t.Fatalf("after Align Len = %d, want 8", w.Len())
+	}
+	w.Align() // aligning an aligned stream is a no-op
+	if w.Len() != 8 {
+		t.Fatalf("double Align Len = %d, want 8", w.Len())
+	}
+}
+
+func TestReaderPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if got := r.ReadBits(8); got != 0xFF {
+		t.Fatalf("ReadBits(8) = %#x", got)
+	}
+	if got := r.ReadBits(8); got != 0 {
+		t.Fatalf("past-end ReadBits(8) = %#x, want 0", got)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestReaderSeek(t *testing.T) {
+	var w Writer
+	for i := 0; i < 10; i++ {
+		w.WriteBits(uint64(i), 7)
+	}
+	r := NewReader(w.Bytes())
+	for _, i := range []int{7, 0, 9, 3} {
+		r.Seek(uint64(i) * 7)
+		if got := r.ReadBits(7); got != uint64(i) {
+			t.Errorf("after Seek(%d): got %d", i*7, got)
+		}
+	}
+}
+
+func TestRoundTripRandomSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var w Writer
+		type item struct {
+			v uint64
+			n uint
+		}
+		var items []item
+		for i := 0; i < 200; i++ {
+			n := uint(rng.Intn(64)) + 1
+			v := rng.Uint64()
+			if n < 64 {
+				v &= (1 << n) - 1
+			}
+			items = append(items, item{v, n})
+			w.WriteBits(v, n)
+		}
+		r := NewReader(w.Bytes())
+		for i, it := range items {
+			if got := r.ReadBits(it.n); got != it.v {
+				t.Fatalf("trial %d item %d: got %d want %d (width %d)", trial, i, got, it.v, it.n)
+			}
+		}
+	}
+}
+
+func TestMSBFirstOrderPreservation(t *testing.T) {
+	// Writing a smaller value then reading the stream as bytes must compare
+	// lexicographically below a stream with a larger value at the same width.
+	// This is the property the order-preserving codecs depend on.
+	check := func(a, b uint32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b {
+			return true
+		}
+		var wa, wb Writer
+		wa.WriteBits(uint64(a), 32)
+		wb.WriteBits(uint64(b), 32)
+		ba, bb := wa.Bytes(), wb.Bytes()
+		for i := range ba {
+			if ba[i] != bb[i] {
+				return ba[i] < bb[i]
+			}
+		}
+		return false // equal streams for unequal values would be a bug
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedArray(t *testing.T) {
+	for _, width := range []uint{1, 3, 7, 8, 13, 32, 63, 64} {
+		pa := NewPackedArray(100, width)
+		rng := rand.New(rand.NewSource(int64(width)))
+		vals := make([]uint64, 100)
+		for i := range vals {
+			v := rng.Uint64()
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			vals[i] = v
+			pa.Set(i, v)
+		}
+		for i, want := range vals {
+			if got := pa.Get(i); got != want {
+				t.Fatalf("width %d: Get(%d) = %d, want %d", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedArrayOverwrite(t *testing.T) {
+	pa := NewPackedArray(10, 5)
+	pa.Set(3, 31)
+	pa.Set(3, 7)
+	if got := pa.Get(3); got != 7 {
+		t.Fatalf("Get(3) = %d after overwrite, want 7", got)
+	}
+	// neighbours untouched
+	if pa.Get(2) != 0 || pa.Get(4) != 0 {
+		t.Fatal("overwrite disturbed neighbouring entries")
+	}
+}
+
+func TestPackSlice(t *testing.T) {
+	vals := []uint64{0, 5, 17, 3, 1023}
+	pa := PackSlice(vals)
+	if pa.Width() != 10 {
+		t.Fatalf("Width = %d, want 10", pa.Width())
+	}
+	for i, v := range vals {
+		if pa.Get(i) != v {
+			t.Fatalf("Get(%d) = %d, want %d", i, pa.Get(i), v)
+		}
+	}
+}
+
+func TestPackedArrayQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		pa := PackSlice(vals)
+		for i, v := range vals {
+			if pa.Get(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPackedGet(b *testing.B) {
+	pa := NewPackedArray(1<<16, 17)
+	for i := 0; i < pa.Len(); i++ {
+		pa.Set(i, uint64(i))
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += pa.Get(i & (1<<16 - 1))
+	}
+	_ = sink
+}
+
+func TestPeekBitsMatchesRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	buf := make([]byte, 64)
+	rng.Read(buf)
+	for trial := 0; trial < 2000; trial++ {
+		pos := uint64(rng.Intn(len(buf)*8 + 16))
+		n := uint(rng.Intn(32) + 1)
+		r1 := NewReaderAt(buf, pos)
+		r2 := NewReaderAt(buf, pos)
+		peeked := r1.PeekBits(n)
+		read := r2.ReadBits(n)
+		if peeked != read {
+			t.Fatalf("pos %d n %d: peek %x != read %x", pos, n, peeked, read)
+		}
+		if r1.Pos() != pos {
+			t.Fatalf("PeekBits advanced the position")
+		}
+		r1.Skip(n)
+		if r1.Pos() != pos+uint64(n) {
+			t.Fatalf("Skip advanced wrong")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package bits
+
+// PackedArray stores n unsigned integers of a fixed bit width contiguously.
+// It backs the pointer/offset arrays of the dictionary formats and the
+// code vectors of the column store, where the width is chosen as
+// Width(maxValue) to minimize space.
+type PackedArray struct {
+	words []uint64
+	width uint
+	n     int
+}
+
+// NewPackedArray returns an array of n zero entries of the given width.
+// width must be in [1, 64].
+func NewPackedArray(n int, width uint) *PackedArray {
+	if width == 0 || width > 64 {
+		panic("bits: packed array width out of range [1,64]")
+	}
+	nbits := uint64(n) * uint64(width)
+	return &PackedArray{
+		words: make([]uint64, (nbits+63)/64),
+		width: width,
+		n:     n,
+	}
+}
+
+// PackSlice packs values into a new array whose width is the minimum
+// required for the largest value.
+func PackSlice(values []uint64) *PackedArray {
+	var max uint64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	pa := NewPackedArray(len(values), Width(max))
+	for i, v := range values {
+		pa.Set(i, v)
+	}
+	return pa
+}
+
+// Len returns the number of entries.
+func (p *PackedArray) Len() int { return p.n }
+
+// Width returns the per-entry bit width.
+func (p *PackedArray) Width() uint { return p.width }
+
+// Get returns entry i.
+func (p *PackedArray) Get(i int) uint64 {
+	bitPos := uint64(i) * uint64(p.width)
+	word := bitPos >> 6
+	off := uint(bitPos & 63)
+	v := p.words[word] >> off
+	if off+p.width > 64 {
+		v |= p.words[word+1] << (64 - off)
+	}
+	if p.width < 64 {
+		v &= (1 << p.width) - 1
+	}
+	return v
+}
+
+// Set stores v (truncated to the array width) at entry i.
+func (p *PackedArray) Set(i int, v uint64) {
+	if p.width < 64 {
+		v &= (1 << p.width) - 1
+	}
+	bitPos := uint64(i) * uint64(p.width)
+	word := bitPos >> 6
+	off := uint(bitPos & 63)
+	mask := ^uint64(0)
+	if p.width < 64 {
+		mask = (1 << p.width) - 1
+	}
+	p.words[word] = p.words[word]&^(mask<<off) | v<<off
+	if off+p.width > 64 {
+		spill := off + p.width - 64
+		hiMask := uint64(1)<<spill - 1
+		p.words[word+1] = p.words[word+1]&^hiMask | v>>(64-off)
+	}
+}
+
+// Bytes returns the memory footprint of the packed data in bytes.
+func (p *PackedArray) Bytes() uint64 {
+	return uint64(len(p.words)) * 8
+}
+
+// AppendBinary serializes the packed array: width (1 byte), entry count
+// (8 bytes little-endian), then the raw words (8 bytes each).
+func (p *PackedArray) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(p.width))
+	var tmp [8]byte
+	putU64 := func(v uint64) {
+		for i := range tmp {
+			tmp[i] = byte(v >> (8 * i))
+		}
+		dst = append(dst, tmp[:]...)
+	}
+	putU64(uint64(p.n))
+	for _, w := range p.words {
+		putU64(w)
+	}
+	return dst
+}
+
+// UnmarshalPackedArray parses an array serialized by AppendBinary and
+// returns it together with the number of bytes consumed.
+func UnmarshalPackedArray(b []byte) (*PackedArray, int, error) {
+	if len(b) < 9 {
+		return nil, 0, errTruncated
+	}
+	width := uint(b[0])
+	if width == 0 || width > 64 {
+		return nil, 0, errCorrupt
+	}
+	getU64 := func(off int) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(b[off+i]) << (8 * i)
+		}
+		return v
+	}
+	n := getU64(1)
+	const maxEntries = 1 << 40 // 1T entries: far beyond anything real
+	if n > maxEntries {
+		return nil, 0, errCorrupt
+	}
+	words := (n*uint64(width) + 63) / 64
+	need := 9 + int(words)*8
+	if len(b) < need {
+		return nil, 0, errTruncated
+	}
+	p := &PackedArray{width: width, n: int(n), words: make([]uint64, words)}
+	for i := range p.words {
+		p.words[i] = getU64(9 + i*8)
+	}
+	return p, need, nil
+}

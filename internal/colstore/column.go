@@ -1,0 +1,273 @@
+// Package colstore implements the in-memory column-store substrate the
+// paper's evaluation runs on: dictionary-encoded string columns with a
+// read-optimized main part and a write-optimized delta part, bit-packed code
+// vectors, periodic merge (the moment the compression manager may change the
+// dictionary format), plain numeric columns, and the scan/predicate helpers
+// the TPC-H queries are built from.
+//
+// Every dictionary access is counted, so a traced workload yields the
+// extract/locate statistics the compression manager's time model needs.
+package colstore
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"strdict/internal/dict"
+	"strdict/internal/intcomp"
+)
+
+// AccessStats counts dictionary operations on a column. Counters are
+// cumulative; use Reset between workload traces.
+type AccessStats struct {
+	Extracts uint64
+	Locates  uint64
+}
+
+// StringColumn is a dictionary-encoded string column: the main part holds a
+// read-only dictionary in one of the 18 formats plus a bit-packed vector of
+// value IDs; the delta part absorbs appends until the next merge.
+type StringColumn struct {
+	name string
+
+	// Read-optimized main part. The code vector is integer-compressed
+	// (bit-packed or run-length encoded, whichever is smaller), per the
+	// paper's note that domain-encoded code lists are compressed further.
+	dict  dict.Dictionary
+	codes intcomp.Vector
+	nMain int
+
+	// Write-optimized delta part.
+	deltaVals  []string          // delta code -> value, insertion order
+	deltaIndex map[string]uint32 // value -> delta code
+	deltaRows  []uint32          // per delta row: delta code
+
+	extracts atomic.Uint64
+	locates  atomic.Uint64
+}
+
+// NewStringColumn returns an empty column whose main part uses the given
+// dictionary format.
+func NewStringColumn(name string, format dict.Format) *StringColumn {
+	return &StringColumn{
+		name:       name,
+		dict:       dict.BuildUnchecked(format, nil),
+		codes:      intcomp.PackBits(nil),
+		deltaIndex: make(map[string]uint32),
+	}
+}
+
+// Name returns the column name.
+func (c *StringColumn) Name() string { return c.name }
+
+// Len returns the number of rows (main + delta).
+func (c *StringColumn) Len() int { return c.nMain + len(c.deltaRows) }
+
+// DictLen returns the number of distinct values in the main dictionary.
+func (c *StringColumn) DictLen() int { return c.dict.Len() }
+
+// Format returns the main dictionary's format.
+func (c *StringColumn) Format() dict.Format { return c.dict.Format() }
+
+// Append adds a value to the write-optimized delta part.
+func (c *StringColumn) Append(value string) {
+	code, ok := c.deltaIndex[value]
+	if !ok {
+		code = uint32(len(c.deltaVals))
+		c.deltaVals = append(c.deltaVals, value)
+		c.deltaIndex[value] = code
+	}
+	c.deltaRows = append(c.deltaRows, code)
+}
+
+// Get returns the value at the given row, reading the main part through the
+// dictionary (counted as an extract).
+func (c *StringColumn) Get(row int) string {
+	if row < c.nMain {
+		c.extracts.Add(1)
+		return c.dict.Extract(uint32(c.codes.Get(row)))
+	}
+	return c.deltaVals[c.deltaRows[row-c.nMain]]
+}
+
+// AppendGet appends the value at row to dst (allocation-free main-part read).
+func (c *StringColumn) AppendGet(dst []byte, row int) []byte {
+	if row < c.nMain {
+		c.extracts.Add(1)
+		return c.dict.AppendExtract(dst, uint32(c.codes.Get(row)))
+	}
+	return append(dst, c.deltaVals[c.deltaRows[row-c.nMain]]...)
+}
+
+// Code returns the main-part value ID at a row; rows in the delta return
+// ok == false. Query operators compare codes instead of strings wherever
+// possible — the core benefit of domain encoding.
+func (c *StringColumn) Code(row int) (uint32, bool) {
+	if row < c.nMain {
+		return uint32(c.codes.Get(row)), true
+	}
+	return 0, false
+}
+
+// Locate returns the value ID of value in the main dictionary (counted as a
+// locate), with the Definition 1 semantics.
+func (c *StringColumn) Locate(value string) (uint32, bool) {
+	c.locates.Add(1)
+	return c.dict.Locate(value)
+}
+
+// Extract returns the string for a main-dictionary value ID (counted).
+func (c *StringColumn) Extract(id uint32) string {
+	c.extracts.Add(1)
+	return c.dict.Extract(id)
+}
+
+// AppendExtract is the allocation-free variant of Extract (counted).
+func (c *StringColumn) AppendExtract(dst []byte, id uint32) []byte {
+	c.extracts.Add(1)
+	return c.dict.AppendExtract(dst, id)
+}
+
+// CodeRange translates a string range [lo, hi) into a value-ID range
+// [loID, hiID) — valid because every dictionary format is order-preserving.
+// Two locates are counted.
+func (c *StringColumn) CodeRange(lo, hi string) (uint32, uint32) {
+	loID, _ := c.Locate(lo)
+	hiID, _ := c.Locate(hi)
+	return loID, hiID
+}
+
+// ScanEq appends to out the rows whose value equals v.
+func (c *StringColumn) ScanEq(v string, out []int) []int {
+	if id, found := c.Locate(v); found {
+		for row := 0; row < c.nMain; row++ {
+			if uint32(c.codes.Get(row)) == id {
+				out = append(out, row)
+			}
+		}
+	}
+	if dcode, ok := c.deltaIndex[v]; ok {
+		for i, dc := range c.deltaRows {
+			if dc == dcode {
+				out = append(out, c.nMain+i)
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns the cumulative dictionary access counters.
+func (c *StringColumn) Stats() AccessStats {
+	return AccessStats{Extracts: c.extracts.Load(), Locates: c.locates.Load()}
+}
+
+// ResetStats zeroes the counters (start of a workload trace).
+func (c *StringColumn) ResetStats() {
+	c.extracts.Store(0)
+	c.locates.Store(0)
+}
+
+// DictValues materializes the sorted distinct values of the main dictionary.
+// It bypasses the access counters: it is maintenance machinery (merge,
+// sampling), not query work.
+func (c *StringColumn) DictValues() []string {
+	out := make([]string, c.dict.Len())
+	c.dict.ForEach(func(id uint32, value []byte) bool {
+		out[id] = string(value)
+		return true
+	})
+	return out
+}
+
+// Merge folds the delta part into the main part, rebuilding the dictionary
+// in the given format. This is the reconstruction point where the
+// compression manager's decision is applied for free.
+func (c *StringColumn) Merge(format dict.Format) {
+	oldVals := c.DictValues()
+
+	// Union of old dictionary and distinct delta values.
+	merged := make([]string, 0, len(oldVals)+len(c.deltaVals))
+	newDelta := append([]string(nil), c.deltaVals...)
+	sort.Strings(newDelta)
+	i, j := 0, 0
+	for i < len(oldVals) || j < len(newDelta) {
+		switch {
+		case j >= len(newDelta):
+			merged = append(merged, oldVals[i])
+			i++
+		case i >= len(oldVals):
+			if len(merged) == 0 || merged[len(merged)-1] != newDelta[j] {
+				merged = append(merged, newDelta[j])
+			}
+			j++
+		case oldVals[i] < newDelta[j]:
+			merged = append(merged, oldVals[i])
+			i++
+		case oldVals[i] > newDelta[j]:
+			merged = append(merged, newDelta[j])
+			j++
+		default:
+			merged = append(merged, oldVals[i])
+			i++
+			j++
+		}
+	}
+
+	// Remap old main codes and delta codes to the merged ID space.
+	oldToNew := make([]uint32, len(oldVals))
+	for oi, v := range oldVals {
+		oldToNew[oi] = uint32(sort.SearchStrings(merged, v))
+	}
+	deltaToNew := make([]uint32, len(c.deltaVals))
+	for di, v := range c.deltaVals {
+		deltaToNew[di] = uint32(sort.SearchStrings(merged, v))
+	}
+
+	n := c.Len()
+	newCodes := make([]uint64, n)
+	for row := 0; row < c.nMain; row++ {
+		newCodes[row] = uint64(oldToNew[c.codes.Get(row)])
+	}
+	for i, dc := range c.deltaRows {
+		newCodes[c.nMain+i] = uint64(deltaToNew[dc])
+	}
+
+	c.dict = dict.BuildUnchecked(format, merged)
+	c.codes = intcomp.PackAuto(newCodes)
+	c.nMain = n
+	c.deltaVals = nil
+	c.deltaRows = nil
+	c.deltaIndex = make(map[string]uint32)
+}
+
+// Rebuild reconstructs the main dictionary in a new format without touching
+// the delta (used when reconfiguring an already-merged store; code IDs are
+// unchanged because all formats are order-preserving).
+func (c *StringColumn) Rebuild(format dict.Format) {
+	if format == c.dict.Format() {
+		return
+	}
+	c.dict = dict.BuildUnchecked(format, c.DictValues())
+}
+
+// DictBytes returns the main dictionary's memory footprint.
+func (c *StringColumn) DictBytes() uint64 { return c.dict.Bytes() }
+
+// VectorBytes returns the code vector's memory footprint.
+func (c *StringColumn) VectorBytes() uint64 { return c.codes.Bytes() }
+
+// Bytes returns the column's total footprint: dictionary, code vector, and
+// delta structures.
+func (c *StringColumn) Bytes() uint64 {
+	var delta uint64
+	for _, v := range c.deltaVals {
+		delta += uint64(len(v)) + 16 + 8 // payload + header + map entry
+	}
+	delta += uint64(len(c.deltaRows)) * 4
+	return c.dict.Bytes() + c.codes.Bytes() + delta
+}
+
+func (c *StringColumn) String() string {
+	return fmt.Sprintf("%s[%s, %d rows, %d distinct]", c.name, c.Format(), c.Len(), c.DictLen())
+}

@@ -1,0 +1,96 @@
+package colstore
+
+import (
+	"time"
+
+	"strdict/internal/dict"
+)
+
+// MergeScheduler drives the write-optimized-to-read-optimized merges of a
+// store, the moment Section 5 attaches the format decision to: "depending
+// on the usage of a table, the write-optimized store ... runs full sooner
+// or later and needs to be merged". It watches delta sizes, triggers merges
+// when a column's delta exceeds the threshold, and tracks each column's
+// observed merge interval — the lifetime(d) that normalizes the manager's
+// time dimension.
+type MergeScheduler struct {
+	store *Store
+	// DeltaRowThreshold triggers a merge once a column's delta holds at
+	// least this many rows.
+	DeltaRowThreshold int
+	// Chooser decides the format at merge time; nil keeps each column's
+	// current format (fixed-format operation).
+	Chooser func(c *StringColumn, lifetimeNs float64) dict.Format
+
+	lastMerge    map[string]time.Time
+	lastInterval map[string]time.Duration
+	now          func() time.Time // injectable clock for tests
+}
+
+// NewMergeScheduler returns a scheduler over the store's string columns.
+func NewMergeScheduler(s *Store, deltaRowThreshold int) *MergeScheduler {
+	return &MergeScheduler{
+		store:             s,
+		DeltaRowThreshold: deltaRowThreshold,
+		lastMerge:         make(map[string]time.Time),
+		lastInterval:      make(map[string]time.Duration),
+		now:               time.Now,
+	}
+}
+
+// LifetimeNs returns the column's last observed merge interval in
+// nanoseconds, or the fallback if it has not merged twice yet.
+func (m *MergeScheduler) LifetimeNs(col string, fallback float64) float64 {
+	if iv, ok := m.lastInterval[col]; ok && iv > 0 {
+		return float64(iv)
+	}
+	return fallback
+}
+
+// DeltaRows returns the number of delta rows of a column.
+func (c *StringColumn) DeltaRows() int { return len(c.deltaRows) }
+
+// Tick checks every string column and merges those whose delta crossed the
+// threshold, consulting the Chooser for the new format. It returns the
+// names of the merged columns.
+func (m *MergeScheduler) Tick() []string {
+	var merged []string
+	for _, c := range m.store.StringColumns() {
+		if c.DeltaRows() < m.DeltaRowThreshold {
+			continue
+		}
+		m.mergeColumn(c)
+		merged = append(merged, c.Name())
+	}
+	return merged
+}
+
+// Flush merges every column that has any delta rows, regardless of the
+// threshold (shutdown / checkpoint path).
+func (m *MergeScheduler) Flush() []string {
+	var merged []string
+	for _, c := range m.store.StringColumns() {
+		if c.DeltaRows() == 0 {
+			continue
+		}
+		m.mergeColumn(c)
+		merged = append(merged, c.Name())
+	}
+	return merged
+}
+
+func (m *MergeScheduler) mergeColumn(c *StringColumn) {
+	now := m.now()
+	name := c.Name()
+	if prev, ok := m.lastMerge[name]; ok {
+		m.lastInterval[name] = now.Sub(prev)
+	}
+	m.lastMerge[name] = now
+
+	format := c.Format()
+	if m.Chooser != nil {
+		lifetime := m.LifetimeNs(name, float64(time.Minute))
+		format = m.Chooser(c, lifetime)
+	}
+	c.Merge(format)
+}

@@ -1,0 +1,91 @@
+package colstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"strdict/internal/dict"
+)
+
+func TestMergeSchedulerThreshold(t *testing.T) {
+	s := NewStore()
+	tb := s.AddTable("t")
+	hot := tb.AddString("hot", dict.Array)
+	cold := tb.AddString("cold", dict.Array)
+
+	m := NewMergeScheduler(s, 100)
+	for i := 0; i < 150; i++ {
+		hot.Append(fmt.Sprintf("h%04d", i))
+	}
+	cold.Append("only one")
+
+	merged := m.Tick()
+	if len(merged) != 1 || merged[0] != "t.hot" {
+		t.Fatalf("merged %v, want [t.hot]", merged)
+	}
+	if hot.DeltaRows() != 0 {
+		t.Fatalf("hot delta %d after merge", hot.DeltaRows())
+	}
+	if cold.DeltaRows() != 1 {
+		t.Fatalf("cold delta %d, want 1 (below threshold)", cold.DeltaRows())
+	}
+	// Flush takes the rest.
+	if merged := m.Flush(); len(merged) != 1 || merged[0] != "t.cold" {
+		t.Fatalf("Flush merged %v", merged)
+	}
+	if got := cold.Get(0); got != "only one" {
+		t.Fatalf("cold data lost: %q", got)
+	}
+}
+
+func TestMergeSchedulerLifetimeTracking(t *testing.T) {
+	s := NewStore()
+	tb := s.AddTable("t")
+	c := tb.AddString("c", dict.Array)
+	m := NewMergeScheduler(s, 1)
+
+	// Injected clock: merges 5 seconds apart.
+	clock := time.Unix(1000, 0)
+	m.now = func() time.Time { return clock }
+
+	c.Append("a")
+	m.Tick()
+	if lt := m.LifetimeNs("t.c", 42); lt != 42 {
+		t.Fatalf("first merge should use the fallback, got %g", lt)
+	}
+	clock = clock.Add(5 * time.Second)
+	c.Append("b")
+	m.Tick()
+	if lt := m.LifetimeNs("t.c", 42); lt != float64(5*time.Second) {
+		t.Fatalf("lifetime %g, want 5s", lt)
+	}
+}
+
+func TestMergeSchedulerChooser(t *testing.T) {
+	s := NewStore()
+	tb := s.AddTable("t")
+	c := tb.AddString("c", dict.FCInline)
+	var sawLifetime float64
+	m := NewMergeScheduler(s, 1)
+	m.Chooser = func(col *StringColumn, lifetimeNs float64) dict.Format {
+		sawLifetime = lifetimeNs
+		return dict.ArrayFixed
+	}
+	for i := 0; i < 10; i++ {
+		c.Append(fmt.Sprintf("%03d", i))
+	}
+	m.Tick()
+	if c.Format() != dict.ArrayFixed {
+		t.Fatalf("chooser ignored: format %s", c.Format())
+	}
+	if sawLifetime <= 0 {
+		t.Fatal("chooser saw no lifetime")
+	}
+	for i, want := 0, ""; i < 10; i++ {
+		want = fmt.Sprintf("%03d", i)
+		if got := c.Get(i); got != want {
+			t.Fatalf("Get(%d) = %q, want %q", i, got, want)
+		}
+	}
+}

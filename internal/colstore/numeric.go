@@ -1,0 +1,55 @@
+package colstore
+
+// Int64Column is a plain numeric column. TPC-H measures, quantities and
+// dates (as day numbers) live in these; the paper's dictionary work only
+// concerns string columns, so numeric columns stay uncompressed.
+type Int64Column struct {
+	name string
+	vals []int64
+}
+
+// NewInt64Column returns an empty numeric column.
+func NewInt64Column(name string) *Int64Column {
+	return &Int64Column{name: name}
+}
+
+// Name returns the column name.
+func (c *Int64Column) Name() string { return c.name }
+
+// Len returns the number of rows.
+func (c *Int64Column) Len() int { return len(c.vals) }
+
+// Append adds a value.
+func (c *Int64Column) Append(v int64) { c.vals = append(c.vals, v) }
+
+// Get returns the value at a row.
+func (c *Int64Column) Get(row int) int64 { return c.vals[row] }
+
+// Bytes returns the memory footprint.
+func (c *Int64Column) Bytes() uint64 { return uint64(len(c.vals)) * 8 }
+
+// Float64Column is a plain floating-point column (prices, discounts, taxes).
+type Float64Column struct {
+	name string
+	vals []float64
+}
+
+// NewFloat64Column returns an empty float column.
+func NewFloat64Column(name string) *Float64Column {
+	return &Float64Column{name: name}
+}
+
+// Name returns the column name.
+func (c *Float64Column) Name() string { return c.name }
+
+// Len returns the number of rows.
+func (c *Float64Column) Len() int { return len(c.vals) }
+
+// Append adds a value.
+func (c *Float64Column) Append(v float64) { c.vals = append(c.vals, v) }
+
+// Get returns the value at a row.
+func (c *Float64Column) Get(row int) float64 { return c.vals[row] }
+
+// Bytes returns the memory footprint.
+func (c *Float64Column) Bytes() uint64 { return uint64(len(c.vals)) * 8 }

@@ -1,0 +1,67 @@
+package colstore
+
+// Query-plan building blocks. Column-store plans work on value IDs (codes)
+// wherever possible: predicates against constants cost one locate, joins
+// translate the smaller dictionary into the other side's code space, and
+// only final result materialization extracts strings. These helpers produce
+// exactly the dictionary access profile the compression manager's time
+// model feeds on.
+
+// TranslateCodes maps every value ID of src's dictionary to the matching
+// value ID in dst's dictionary, or -1 when dst does not contain the value.
+// It costs src.DictLen() extracts plus as many locates on dst — the standard
+// dictionary-translation join of column stores.
+func TranslateCodes(src, dst *StringColumn) []int64 {
+	out := make([]int64, src.DictLen())
+	var buf []byte
+	for id := range out {
+		buf = src.AppendExtract(buf[:0], uint32(id))
+		if did, found := dst.Locate(string(buf)); found {
+			out[id] = int64(did)
+		} else {
+			out[id] = -1
+		}
+	}
+	return out
+}
+
+// RowIndexByCode builds an index from value ID to the (single) row holding
+// it. Intended for key columns, where every value occurs exactly once; for
+// repeated values the last row wins. It reads only the code vector, no
+// dictionary operations.
+func (c *StringColumn) RowIndexByCode() []int32 {
+	idx := make([]int32, c.DictLen())
+	for i := range idx {
+		idx[i] = -1
+	}
+	for row := 0; row < c.nMain; row++ {
+		idx[c.codes.Get(row)] = int32(row)
+	}
+	return idx
+}
+
+// RowsByCode groups the main-part rows by value ID. It reads only the code
+// vector.
+func (c *StringColumn) RowsByCode() [][]int32 {
+	out := make([][]int32, c.DictLen())
+	for row := 0; row < c.nMain; row++ {
+		code := c.codes.Get(row)
+		out[code] = append(out[code], int32(row))
+	}
+	return out
+}
+
+// CodeSet returns the set of value IDs whose strings satisfy pred. pred is
+// evaluated once per distinct value (DictLen extracts), not once per row —
+// the dictionary's second superpower after compression.
+func (c *StringColumn) CodeSet(pred func(string) bool) map[uint32]bool {
+	out := make(map[uint32]bool)
+	var buf []byte
+	for id := 0; id < c.DictLen(); id++ {
+		buf = c.AppendExtract(buf[:0], uint32(id))
+		if pred(string(buf)) {
+			out[uint32(id)] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package colstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"strdict/internal/dict"
+)
+
+func loadColumn(t *testing.T, format dict.Format, vals []string) *StringColumn {
+	t.Helper()
+	c := NewStringColumn("t.c", dict.Array)
+	for _, v := range vals {
+		c.Append(v)
+	}
+	c.Merge(format)
+	return c
+}
+
+func TestTranslateCodes(t *testing.T) {
+	src := loadColumn(t, dict.Array, []string{"b", "d", "f"})
+	dst := loadColumn(t, dict.FCBlock, []string{"a", "b", "c", "d", "e"})
+	tr := TranslateCodes(src, dst)
+	// src dict: b=0 d=1 f=2; dst dict: a..e -> b=1, d=3, f absent.
+	want := []int64{1, 3, -1}
+	if len(tr) != len(want) {
+		t.Fatalf("len %d", len(tr))
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("tr[%d] = %d, want %d", i, tr[i], want[i])
+		}
+	}
+	// Dictionary ops were counted (3 extracts on src, 3 locates on dst).
+	if st := src.Stats(); st.Extracts < 3 {
+		t.Errorf("src extracts %d", st.Extracts)
+	}
+	if st := dst.Stats(); st.Locates < 3 {
+		t.Errorf("dst locates %d", st.Locates)
+	}
+}
+
+func TestRowIndexByCode(t *testing.T) {
+	c := loadColumn(t, dict.Array, []string{"k3", "k1", "k2"})
+	idx := c.RowIndexByCode()
+	// dict: k1=0 (row 1), k2=1 (row 2), k3=2 (row 0)
+	want := []int32{1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("idx[%d] = %d, want %d", i, idx[i], want[i])
+		}
+	}
+}
+
+func TestRowsByCode(t *testing.T) {
+	c := loadColumn(t, dict.Array, []string{"x", "y", "x", "x", "y"})
+	groups := c.RowsByCode()
+	if len(groups) != 2 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	// x=0: rows 0,2,3; y=1: rows 1,4.
+	if fmt.Sprint(groups[0]) != "[0 2 3]" || fmt.Sprint(groups[1]) != "[1 4]" {
+		t.Fatalf("groups %v", groups)
+	}
+}
+
+func TestCodeSet(t *testing.T) {
+	c := loadColumn(t, dict.FCInline, []string{"apple pie", "banana split", "apple cake", "cherry"})
+	set := c.CodeSet(func(v string) bool { return strings.HasPrefix(v, "apple") })
+	if len(set) != 2 {
+		t.Fatalf("set %v", set)
+	}
+	for code := range set {
+		if !strings.HasPrefix(c.Extract(code), "apple") {
+			t.Fatal("wrong code in set")
+		}
+	}
+	// Predicate ran once per distinct value: 4 extracts.
+	if st := c.Stats(); st.Extracts < 4 {
+		t.Errorf("extracts %d", st.Extracts)
+	}
+}
+
+func TestTranslateCodesAcrossFormats(t *testing.T) {
+	// Translation is format-independent.
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%04d", i*3)
+	}
+	for _, f1 := range []dict.Format{dict.Array, dict.ArrayRP12} {
+		for _, f2 := range []dict.Format{dict.FCBlock, dict.ColumnBC} {
+			src := loadColumn(t, f1, vals[:150])
+			dst := loadColumn(t, f2, vals[50:])
+			tr := TranslateCodes(src, dst)
+			for id := 0; id < src.DictLen(); id++ {
+				v := src.Extract(uint32(id))
+				if did := tr[id]; did >= 0 {
+					if dst.Extract(uint32(did)) != v {
+						t.Fatalf("%s->%s: translation mismatch for %q", f1, f2, v)
+					}
+				} else if wid, found := dst.Locate(v); found {
+					t.Fatalf("%s->%s: %q marked absent but found at %d", f1, f2, v, wid)
+				}
+			}
+		}
+	}
+}

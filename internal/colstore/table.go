@@ -1,0 +1,185 @@
+package colstore
+
+import (
+	"fmt"
+
+	"strdict/internal/dict"
+)
+
+// Table is a set of equally-long columns.
+type Table struct {
+	Name string
+
+	strCols   map[string]*StringColumn
+	intCols   map[string]*Int64Column
+	floatCols map[string]*Float64Column
+	order     []string // column names in definition order
+}
+
+// NewTable returns an empty table.
+func NewTable(name string) *Table {
+	return &Table{
+		Name:      name,
+		strCols:   make(map[string]*StringColumn),
+		intCols:   make(map[string]*Int64Column),
+		floatCols: make(map[string]*Float64Column),
+	}
+}
+
+// AddString defines a string column with an initial dictionary format.
+func (t *Table) AddString(name string, format dict.Format) *StringColumn {
+	c := NewStringColumn(t.Name+"."+name, format)
+	t.strCols[name] = c
+	t.order = append(t.order, name)
+	return c
+}
+
+// AddInt64 defines a numeric column.
+func (t *Table) AddInt64(name string) *Int64Column {
+	c := NewInt64Column(t.Name + "." + name)
+	t.intCols[name] = c
+	t.order = append(t.order, name)
+	return c
+}
+
+// AddFloat64 defines a float column.
+func (t *Table) AddFloat64(name string) *Float64Column {
+	c := NewFloat64Column(t.Name + "." + name)
+	t.floatCols[name] = c
+	t.order = append(t.order, name)
+	return c
+}
+
+// Str returns a string column; it panics on unknown names, which are
+// programming errors in hand-written query plans.
+func (t *Table) Str(name string) *StringColumn {
+	c, ok := t.strCols[name]
+	if !ok {
+		panic(fmt.Sprintf("colstore: no string column %s.%s", t.Name, name))
+	}
+	return c
+}
+
+// Int returns a numeric column.
+func (t *Table) Int(name string) *Int64Column {
+	c, ok := t.intCols[name]
+	if !ok {
+		panic(fmt.Sprintf("colstore: no int column %s.%s", t.Name, name))
+	}
+	return c
+}
+
+// Float returns a float column.
+func (t *Table) Float(name string) *Float64Column {
+	c, ok := t.floatCols[name]
+	if !ok {
+		panic(fmt.Sprintf("colstore: no float column %s.%s", t.Name, name))
+	}
+	return c
+}
+
+// StringColumns returns the table's string columns in definition order.
+func (t *Table) StringColumns() []*StringColumn {
+	var out []*StringColumn
+	for _, name := range t.order {
+		if c, ok := t.strCols[name]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Rows returns the number of rows, taken from the first column.
+func (t *Table) Rows() int {
+	for _, name := range t.order {
+		if c, ok := t.strCols[name]; ok {
+			return c.Len()
+		}
+		if c, ok := t.intCols[name]; ok {
+			return c.Len()
+		}
+		if c, ok := t.floatCols[name]; ok {
+			return c.Len()
+		}
+	}
+	return 0
+}
+
+// MergeAll merges every string column's delta into its main part, keeping
+// each column's current format.
+func (t *Table) MergeAll() {
+	for _, c := range t.StringColumns() {
+		c.Merge(c.Format())
+	}
+}
+
+// Bytes returns the table's total memory footprint.
+func (t *Table) Bytes() uint64 {
+	var b uint64
+	for _, c := range t.strCols {
+		b += c.Bytes()
+	}
+	for _, c := range t.intCols {
+		b += c.Bytes()
+	}
+	for _, c := range t.floatCols {
+		b += c.Bytes()
+	}
+	return b
+}
+
+// Store is a set of tables — the whole database.
+type Store struct {
+	Tables map[string]*Table
+	names  []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{Tables: make(map[string]*Table)}
+}
+
+// AddTable creates and registers a table.
+func (s *Store) AddTable(name string) *Table {
+	t := NewTable(name)
+	s.Tables[name] = t
+	s.names = append(s.names, name)
+	return t
+}
+
+// Table returns a table by name, panicking on unknown names.
+func (s *Store) Table(name string) *Table {
+	t, ok := s.Tables[name]
+	if !ok {
+		panic(fmt.Sprintf("colstore: no table %s", name))
+	}
+	return t
+}
+
+// TableNames returns the tables in creation order.
+func (s *Store) TableNames() []string { return s.names }
+
+// StringColumns returns every string column of every table.
+func (s *Store) StringColumns() []*StringColumn {
+	var out []*StringColumn
+	for _, name := range s.names {
+		out = append(out, s.Tables[name].StringColumns()...)
+	}
+	return out
+}
+
+// Bytes returns the store's total memory footprint.
+func (s *Store) Bytes() uint64 {
+	var b uint64
+	for _, t := range s.Tables {
+		b += t.Bytes()
+	}
+	return b
+}
+
+// ResetStats zeroes all dictionary access counters.
+func (s *Store) ResetStats() {
+	for _, c := range s.StringColumns() {
+		c.ResetStats()
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+// The tuning advisor of Section 4.3: before automating the decision, the
+// paper notes the prediction framework "can be used in a tuning advisor to
+// assist the database administrator in taking the decision of the format of
+// the most important dictionaries manually". Advise produces that view: the
+// pareto-optimal candidates and the formats the automatic selection would
+// pick across the whole range of the trade-off parameter.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"strdict/internal/model"
+)
+
+// Advice is the advisor's output for one column.
+type Advice struct {
+	// Pareto holds the candidates not dominated in (size, time), sorted by
+	// RelTime ascending — the menu a DBA picks from.
+	Pareto []Candidate
+	// ByTradeoff maps representative c values to the format the automatic
+	// selection (tilt strategy) would choose.
+	ByTradeoff []TradeoffChoice
+}
+
+// TradeoffChoice pairs a trade-off parameter with the chosen candidate.
+type TradeoffChoice struct {
+	C      float64
+	Chosen Candidate
+}
+
+// Advise evaluates all formats for the column and summarizes the decision
+// space. cs lists the trade-off values to probe; nil uses a log range over
+// the manager's default clamp [1e-3, 10].
+func Advise(stats ColumnStats, costs *model.CostTable, cs []float64) Advice {
+	cands := Candidates(stats, costs)
+	if len(cs) == 0 {
+		cs = []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10}
+	}
+	adv := Advice{Pareto: paretoFront(cands)}
+	for _, c := range cs {
+		adv.ByTradeoff = append(adv.ByTradeoff, TradeoffChoice{
+			C:      c,
+			Chosen: Select(StrategyTilt, c, cands),
+		})
+	}
+	return adv
+}
+
+// paretoFront filters candidates to those not dominated by another (smaller
+// or equal in both size and time, strictly smaller in one).
+func paretoFront(cands []Candidate) []Candidate {
+	var out []Candidate
+	for _, a := range cands {
+		dominated := false
+		for _, b := range cands {
+			if b == a {
+				continue
+			}
+			if b.SizeBytes <= a.SizeBytes && b.RelTime <= a.RelTime &&
+				(b.SizeBytes < a.SizeBytes || b.RelTime < a.RelTime) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RelTime < out[j].RelTime })
+	return out
+}
+
+// WriteReport renders the advice as the DBA-facing report.
+func (a Advice) WriteReport(w io.Writer, name string) {
+	fmt.Fprintf(w, "advisor report for %s\n\n", name)
+	fmt.Fprintf(w, "pareto-optimal formats (fast to small):\n")
+	fmt.Fprintf(w, "  %-16s %14s %14s\n", "format", "size (bytes)", "rel time")
+	for _, c := range a.Pareto {
+		fmt.Fprintf(w, "  %-16s %14d %14.6f\n", c.Format, c.SizeBytes, c.RelTime)
+	}
+	fmt.Fprintf(w, "\nautomatic selection across the trade-off range:\n")
+	fmt.Fprintf(w, "  %-10s %-16s %14s\n", "c", "chosen format", "size (bytes)")
+	for _, tc := range a.ByTradeoff {
+		fmt.Fprintf(w, "  %-10.4g %-16s %14d\n", tc.C, tc.Chosen.Format, tc.Chosen.SizeBytes)
+	}
+}

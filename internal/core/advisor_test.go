@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"strdict/internal/datagen"
+	"strdict/internal/model"
+)
+
+func advisorStats(t *testing.T) ColumnStats {
+	t.Helper()
+	strs := datagen.Generate("url", 4000, 1)
+	return ColumnStats{
+		Name:       "t.url",
+		NumStrings: uint64(len(strs)),
+		Extracts:   50000,
+		Locates:    500,
+		LifetimeNs: 1e12,
+		Sample:     model.TakeSample(strs, 1.0, 1),
+	}
+}
+
+func TestAdvisePareto(t *testing.T) {
+	adv := Advise(advisorStats(t), model.DefaultCostTable(), nil)
+	if len(adv.Pareto) < 2 {
+		t.Fatalf("pareto front has %d entries", len(adv.Pareto))
+	}
+	// Sorted by time ascending, and strictly decreasing in size (otherwise
+	// an entry would be dominated).
+	for i := 1; i < len(adv.Pareto); i++ {
+		if adv.Pareto[i].RelTime < adv.Pareto[i-1].RelTime {
+			t.Fatal("pareto front not sorted by rel time")
+		}
+		if adv.Pareto[i].SizeBytes >= adv.Pareto[i-1].SizeBytes {
+			t.Fatalf("pareto entry %d not smaller than its faster neighbour", i)
+		}
+	}
+}
+
+func TestAdviseTradeoffMonotone(t *testing.T) {
+	adv := Advise(advisorStats(t), model.DefaultCostTable(), []float64{0.001, 0.1, 1, 10})
+	prev := -1.0
+	for _, tc := range adv.ByTradeoff {
+		if prev >= 0 && tc.Chosen.RelTime > prev {
+			t.Fatalf("larger c chose a slower format (rel time %g > %g)", tc.Chosen.RelTime, prev)
+		}
+		prev = tc.Chosen.RelTime
+	}
+}
+
+func TestAdviseReport(t *testing.T) {
+	var buf bytes.Buffer
+	Advise(advisorStats(t), model.DefaultCostTable(), nil).WriteReport(&buf, "t.url")
+	out := buf.String()
+	for _, want := range []string{"pareto-optimal", "automatic selection", "t.url"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package datagen synthesizes the nine evaluation corpora of Section 3.4.
+//
+// The paper's originals (an English word list, Google Books 1-grams, salted
+// password hashes, customer material numbers, customer source code, URL
+// templates) are proprietary or unavailable offline, so each generator
+// produces a statistically similar stand-in: same length regime, character
+// set, prefix-sharing structure and redundancy profile. Those statistics are
+// exactly what the dictionary formats are sensitive to, so the qualitative
+// comparison of the formats carries over (see DESIGN.md, Substitutions).
+//
+// All generators are deterministic for a given seed and return the strictly
+// ascending, duplicate-free string set a dictionary build expects.
+package datagen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Names lists the corpora in the paper's order.
+func Names() []string {
+	return []string{"asc", "engl", "1gram", "hash", "mat", "rand1", "rand2", "src", "url"}
+}
+
+// Generate produces the named corpus with about n distinct strings.
+func Generate(name string, n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed ^ int64(len(name))<<32))
+	var gen func(rng *rand.Rand, n int) []string
+	switch name {
+	case "asc":
+		gen = genAsc
+	case "engl":
+		gen = genEngl
+	case "1gram":
+		gen = gen1gram
+	case "hash":
+		gen = genHash
+	case "mat":
+		gen = genMat
+	case "rand1":
+		gen = genRand1
+	case "rand2":
+		gen = genRand2
+	case "src":
+		gen = genSrc
+	case "url":
+		gen = genURL
+	default:
+		panic(fmt.Sprintf("datagen: unknown corpus %q", name))
+	}
+	return sortUnique(gen(rng, n))
+}
+
+// All generates every corpus at the given size.
+func All(n int, seed int64) map[string][]string {
+	out := make(map[string][]string, len(Names()))
+	for _, name := range Names() {
+		out[name] = Generate(name, n, seed)
+	}
+	return out
+}
+
+func sortUnique(strs []string) []string {
+	sort.Strings(strs)
+	out := strs[:0]
+	for i, s := range strs {
+		if i == 0 || strs[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// genAsc: ascending decimal numbers of length 18, padded with zeros.
+func genAsc(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	v := int64(rng.Intn(1000))
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%018d", v))
+		v += int64(1 + rng.Intn(5))
+	}
+	return out
+}
+
+// English morphology pools shared by engl and 1gram.
+var (
+	englOnsets  = []string{"b", "bl", "br", "c", "ch", "cl", "cr", "d", "dr", "f", "fl", "fr", "g", "gl", "gr", "h", "j", "k", "l", "m", "n", "p", "ph", "pl", "pr", "qu", "r", "s", "sc", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v", "w", "wh", ""}
+	englNuclei  = []string{"a", "ai", "au", "e", "ea", "ee", "ei", "i", "ie", "o", "oa", "oo", "ou", "u", "y"}
+	englCodas   = []string{"", "b", "ck", "d", "ft", "g", "l", "ll", "m", "mp", "n", "nd", "ng", "nk", "nt", "p", "r", "rd", "rk", "rm", "rn", "rt", "s", "ss", "st", "t", "tch", "x"}
+	englSuffix  = []string{"", "", "", "s", "ed", "ing", "er", "est", "ly", "ness", "ment", "tion", "able", "ish", "ful"}
+	englPrefix  = []string{"", "", "", "", "un", "re", "de", "in", "over", "under", "out", "pre", "mis", "non"}
+	gramSymbols = []string{"", "", "", "", "", "'s", "'t", "-", "."}
+)
+
+func englWord(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString(englPrefix[rng.Intn(len(englPrefix))])
+	syllables := 1 + rng.Intn(3)
+	for s := 0; s < syllables; s++ {
+		sb.WriteString(englOnsets[rng.Intn(len(englOnsets))])
+		sb.WriteString(englNuclei[rng.Intn(len(englNuclei))])
+		sb.WriteString(englCodas[rng.Intn(len(englCodas))])
+	}
+	sb.WriteString(englSuffix[rng.Intn(len(englSuffix))])
+	return sb.String()
+}
+
+// genEngl: a list of English-like words, lowercase.
+func genEngl(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n+n/4)
+	for len(out) < n+n/4 {
+		out = append(out, englWord(rng))
+	}
+	return out
+}
+
+// gen1gram: tokens like the Google Books 1-gram set — word forms with mixed
+// case, occasional digits, apostrophes and hyphens.
+func gen1gram(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n+n/4)
+	for len(out) < n+n/4 {
+		w := englWord(rng)
+		switch rng.Intn(10) {
+		case 0:
+			w = strings.ToUpper(w[:1]) + w[1:]
+		case 1:
+			w = strings.ToUpper(w)
+		case 2:
+			w = fmt.Sprintf("%d%s", 1500+rng.Intn(600), gramSymbols[rng.Intn(len(gramSymbols))])
+		}
+		w += gramSymbols[rng.Intn(len(gramSymbols))]
+		out = append(out, w)
+	}
+	return out
+}
+
+// genHash: salted SHA hashes of passwords, all starting with the same prefix
+// describing the hash algorithm (constant prefix + fixed-length hex digest).
+func genHash(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	var seed [8]byte
+	for i := 0; i < n; i++ {
+		rng.Read(seed[:])
+		sum := sha256.Sum256(seed[:])
+		out = append(out, "{SSHA256}"+hex.EncodeToString(sum[:20]))
+	}
+	return out
+}
+
+// genMat: material numbers as in an ERP customer system — fixed length 18,
+// a small set of alphabetic type prefixes, a plant segment, and a serial.
+func genMat(rng *rand.Rand, n int) []string {
+	types := []string{"RAW", "FIN", "SEM", "PKG", "TRD"}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%s%02d%012dA",
+			types[rng.Intn(len(types))], rng.Intn(40), rng.Int63n(4_000_000_000)))
+	}
+	return out
+}
+
+// genRand1: strings of length 10, containing random printable characters.
+func genRand1(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	b := make([]byte, 10)
+	for i := 0; i < n; i++ {
+		for j := range b {
+			b[j] = byte(33 + rng.Intn(94))
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+// genRand2: strings of variable length, containing random characters.
+func genRand2(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		b := make([]byte, 1+rng.Intn(30))
+		for j := range b {
+			b[j] = byte(33 + rng.Intn(94))
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+// Source-line grammar pools.
+var (
+	srcIndent = []string{"", "    ", "        ", "            ", "\t", "\t\t"}
+	srcTypes  = []string{"int", "long", "double", "char*", "size_t", "uint32_t", "bool", "void"}
+	srcIdents = []string{"i", "j", "n", "len", "count", "result", "buffer", "offset", "index", "value", "row", "col", "tmp", "ptr", "state", "flags"}
+	srcCalls  = []string{"memcpy", "memset", "strlen", "malloc", "free", "printf", "assert", "push_back", "resize", "find", "insert", "emplace"}
+	srcStmts  = []string{
+		"%sif (%s == NULL) return -1;",
+		"%sfor (%s %s = 0; %s < %s; ++%s) {",
+		"%s%s %s = %s(%s);",
+		"%sreturn %s;",
+		"%s%s += %s;",
+		"%s} else {",
+		"%s}",
+		"%s// TODO: handle %s overflow in %s",
+		"%s%s(%s, 0, sizeof(%s));",
+		"%sswitch (%s) {",
+		"%scase %s: break;",
+	}
+)
+
+// genSrc: source code lines from a customer system — token grammar with a
+// small vocabulary and heavy redundancy across lines.
+func genSrc(rng *rand.Rand, n int) []string {
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+	out := make([]string, 0, n+n/2)
+	for len(out) < n+n/2 {
+		tpl := pick(srcStmts)
+		args := []interface{}{pick(srcIndent)}
+		for strings.Count(tpl, "%s") > len(args) {
+			switch rng.Intn(3) {
+			case 0:
+				args = append(args, pick(srcTypes))
+			case 1:
+				args = append(args, pick(srcIdents))
+			default:
+				args = append(args, pick(srcCalls))
+			}
+		}
+		out = append(out, fmt.Sprintf(tpl, args...))
+	}
+	return out
+}
+
+// URL pools.
+var (
+	urlHosts = []string{"shop.example.com", "api.example.com", "www.corp-intranet.example", "cdn.assets.example.net"}
+	urlPaths = []string{"catalog", "items", "users", "orders", "search", "reports", "admin", "v2", "static", "img", "docs"}
+	urlParms = []string{"id", "page", "sort", "lang", "filter", "ref", "session"}
+)
+
+// genURL: URL templates extracted from a test system — long shared prefixes,
+// limited vocabulary, variable tails.
+func genURL(rng *rand.Rand, n int) []string {
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+	out := make([]string, 0, n+n/4)
+	for len(out) < n+n/4 {
+		var sb strings.Builder
+		sb.WriteString("https://")
+		sb.WriteString(pick(urlHosts))
+		segs := 1 + rng.Intn(4)
+		for s := 0; s < segs; s++ {
+			sb.WriteByte('/')
+			sb.WriteString(pick(urlPaths))
+		}
+		if rng.Intn(2) == 0 {
+			sb.WriteByte('/')
+			fmt.Fprintf(&sb, "%06d", rng.Intn(1_000_000))
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, "?%s={%s}&%s=%d",
+				pick(urlParms), pick(urlParms), pick(urlParms), rng.Intn(100))
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package datagen
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"strdict/internal/dict"
+)
+
+func TestAllCorporaValidDictionaryInput(t *testing.T) {
+	for _, name := range Names() {
+		strs := Generate(name, 2000, 1)
+		if len(strs) < 1000 {
+			t.Errorf("%s: only %d distinct strings", name, len(strs))
+		}
+		if !sort.StringsAreSorted(strs) {
+			t.Errorf("%s: not sorted", name)
+		}
+		if err := dict.Validate(strs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a := Generate(name, 500, 7)
+		b := Generate(name, 500, 7)
+		if len(a) != len(b) {
+			t.Fatalf("%s: non-deterministic length", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: differs at %d: %q vs %q", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	a := Generate("rand1", 100, 1)
+	b := Generate("rand1", 100, 2)
+	same := 0
+	for i := range a {
+		if i < len(b) && a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestFixedLengthCorpora(t *testing.T) {
+	// asc, hash, mat and rand1 are the constant-length data sets the paper's
+	// column bc and array fixed formats exploit.
+	for _, name := range []string{"asc", "hash", "mat", "rand1"} {
+		strs := Generate(name, 500, 3)
+		want := len(strs[0])
+		for _, s := range strs {
+			if len(s) != want {
+				t.Errorf("%s: length %d != %d for %q", name, len(s), want, s)
+			}
+		}
+	}
+}
+
+func TestAscIsNumericAndAscending(t *testing.T) {
+	strs := Generate("asc", 300, 5)
+	for _, s := range strs {
+		if len(s) != 18 {
+			t.Fatalf("asc length %d", len(s))
+		}
+		for _, c := range s {
+			if c < '0' || c > '9' {
+				t.Fatalf("asc non-digit in %q", s)
+			}
+		}
+	}
+}
+
+func TestHashSharedPrefix(t *testing.T) {
+	strs := Generate("hash", 200, 5)
+	for _, s := range strs {
+		if !strings.HasPrefix(s, "{SSHA256}") {
+			t.Fatalf("hash without algorithm prefix: %q", s)
+		}
+	}
+}
+
+func TestURLSharedPrefix(t *testing.T) {
+	strs := Generate("url", 200, 5)
+	for _, s := range strs {
+		if !strings.HasPrefix(s, "https://") {
+			t.Fatalf("url without scheme: %q", s)
+		}
+	}
+}
+
+func TestSrcRedundancy(t *testing.T) {
+	// Source lines must be highly compressible: distinct characters few,
+	// many repeated tokens.
+	strs := Generate("src", 1000, 5)
+	chars := map[byte]bool{}
+	for _, s := range strs {
+		for i := 0; i < len(s); i++ {
+			chars[s[i]] = true
+		}
+	}
+	if len(chars) > 90 {
+		t.Errorf("src alphabet suspiciously large: %d", len(chars))
+	}
+}
+
+func TestAllReturnsEveryCorpus(t *testing.T) {
+	m := All(100, 1)
+	if len(m) != len(Names()) {
+		t.Fatalf("All returned %d corpora", len(m))
+	}
+	for _, name := range Names() {
+		if len(m[name]) == 0 {
+			t.Errorf("missing corpus %s", name)
+		}
+	}
+}
+
+func TestUnknownCorpusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate("nope", 10, 1)
+}

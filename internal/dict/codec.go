@@ -1,0 +1,213 @@
+package dict
+
+import (
+	"bytes"
+
+	"strdict/internal/bitcomp"
+	"strdict/internal/bits"
+	"strdict/internal/huffman"
+	"strdict/internal/hutucker"
+	"strdict/internal/ngram"
+	"strdict/internal/repair"
+)
+
+// Scheme enumerates the string compression schemes of Section 3.3.
+type Scheme int
+
+const (
+	SchemeNone Scheme = iota
+	SchemeBC
+	SchemeHU
+	SchemeNG2
+	SchemeNG3
+	SchemeRP12
+	SchemeRP16
+)
+
+var schemeNames = [...]string{"none", "bc", "hu", "ng2", "ng3", "rp12", "rp16"}
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s < 0 || int(s) >= len(schemeNames) {
+		return "scheme?"
+	}
+	return schemeNames[s]
+}
+
+// codec decodes self-delimiting encoded strings. Every scheme terminates a
+// string with an EOS symbol (NUL for the raw scheme), so encoded strings can
+// be concatenated and walked.
+type codec interface {
+	// decodeNext appends the decoded form of the encoded string beginning
+	// at enc[0] to dst and returns the extended slice plus the number of
+	// bytes of enc the encoding occupied (encodings are byte-aligned).
+	decodeNext(dst, enc []byte) ([]byte, int)
+	// tableBytes is the footprint of the codec's shared tables.
+	tableBytes() uint64
+}
+
+// encodedComparable is implemented by codecs whose encoded byte strings
+// compare in the same order as the original strings, enabling locate to
+// binary-search entirely on compressed data. canEncodeProbe guards against
+// probe characters outside the trained alphabet, for which the caller falls
+// back to extraction-based search.
+type encodedComparable interface {
+	encodeProbe(dst []byte, src []byte) []byte
+	canEncodeProbe(src []byte) bool
+}
+
+// schemeOrderPreserving reports whether the scheme's encoded byte strings,
+// as built for array dictionaries, compare like the originals.
+func schemeOrderPreserving(s Scheme) bool {
+	switch s {
+	case SchemeNone, SchemeBC, SchemeHU:
+		return true
+	}
+	return false
+}
+
+// rawCodec stores strings verbatim with a NUL terminator.
+type rawCodec struct{}
+
+func (rawCodec) decodeNext(dst, enc []byte) ([]byte, int) {
+	i := bytes.IndexByte(enc, 0)
+	if i < 0 {
+		i = len(enc)
+		return append(dst, enc...), i
+	}
+	return append(dst, enc[:i]...), i + 1
+}
+
+func (rawCodec) encodeProbe(dst, src []byte) []byte {
+	dst = append(dst, src...)
+	return append(dst, 0)
+}
+
+func (rawCodec) canEncodeProbe([]byte) bool { return true }
+
+func (rawCodec) tableBytes() uint64 { return 0 }
+
+// consumedBytes converts a bit-reader position into whole bytes consumed,
+// clamped to the buffer length: a corrupt stream without a terminator can
+// leave the reader position past the end.
+func consumedBytes(r *bits.Reader, enc []byte) int {
+	n := int((r.Pos() + 7) / 8)
+	if n > len(enc) {
+		n = len(enc)
+	}
+	return n
+}
+
+type bcCodec struct{ c *bitcomp.Codec }
+
+func (w bcCodec) decodeNext(dst, enc []byte) ([]byte, int) {
+	r := bits.NewReader(enc)
+	dst = w.c.DecodeFrom(dst, r)
+	return dst, consumedBytes(r, enc)
+}
+func (w bcCodec) encodeProbe(dst, src []byte) []byte { return w.c.Encode(dst, src) }
+func (w bcCodec) canEncodeProbe(src []byte) bool     { return w.c.CanEncode(src) }
+func (w bcCodec) tableBytes() uint64                 { return w.c.TableBytes() }
+
+type huTuckerCodec struct{ c *hutucker.Codec }
+
+func (w huTuckerCodec) decodeNext(dst, enc []byte) ([]byte, int) {
+	r := bits.NewReader(enc)
+	dst = w.c.DecodeFrom(dst, r)
+	return dst, consumedBytes(r, enc)
+}
+func (w huTuckerCodec) encodeProbe(dst, src []byte) []byte { return w.c.Encode(dst, src) }
+func (w huTuckerCodec) canEncodeProbe(src []byte) bool     { return w.c.CanEncode(src) }
+func (w huTuckerCodec) tableBytes() uint64                 { return w.c.TableBytes() }
+
+type huffmanCodec struct{ c *huffman.Codec }
+
+func (w huffmanCodec) decodeNext(dst, enc []byte) ([]byte, int) {
+	r := bits.NewReader(enc)
+	dst = w.c.DecodeFrom(dst, r)
+	return dst, consumedBytes(r, enc)
+}
+func (w huffmanCodec) tableBytes() uint64 { return w.c.TableBytes() }
+
+type ngramCodec struct{ c *ngram.Codec }
+
+func (w ngramCodec) decodeNext(dst, enc []byte) ([]byte, int) {
+	r := bits.NewReader(enc)
+	dst = w.c.DecodeFrom(dst, r)
+	return dst, consumedBytes(r, enc)
+}
+func (w ngramCodec) tableBytes() uint64 { return w.c.TableBytes() }
+
+type repairCodec struct{ g *repair.Grammar }
+
+func (w repairCodec) decodeNext(dst, enc []byte) ([]byte, int) {
+	r := bits.NewReader(enc)
+	dst = w.g.DecodeFrom(dst, r)
+	return dst, consumedBytes(r, enc)
+}
+func (w repairCodec) tableBytes() uint64 { return w.g.TableBytes() }
+
+// buildCodec trains the scheme's model on parts and returns the codec along
+// with the byte-aligned encoded form of every part, in order.
+//
+// orderPreserving selects Hu-Tucker (order-preserving, slightly larger) over
+// Huffman for SchemeHU: array dictionaries want it so locate can compare in
+// the encoded domain; front-coded suffixes are walked decoded, so they take
+// the better-compressing Huffman code instead.
+func buildCodec(s Scheme, parts [][]byte, orderPreserving bool) (codec, [][]byte) {
+	switch s {
+	case SchemeNone:
+		c := rawCodec{}
+		encs := make([][]byte, len(parts))
+		for i, p := range parts {
+			encs[i] = c.encodeProbe(nil, p)
+		}
+		return c, encs
+	case SchemeBC:
+		c := bitcomp.Train(parts)
+		encs := make([][]byte, len(parts))
+		for i, p := range parts {
+			encs[i] = c.Encode(nil, p)
+		}
+		return bcCodec{c}, encs
+	case SchemeHU:
+		if orderPreserving {
+			c := hutucker.Train(parts)
+			encs := make([][]byte, len(parts))
+			for i, p := range parts {
+				encs[i] = c.Encode(nil, p)
+			}
+			return huTuckerCodec{c}, encs
+		}
+		c := huffman.Train(parts)
+		encs := make([][]byte, len(parts))
+		for i, p := range parts {
+			encs[i] = c.Encode(nil, p)
+		}
+		return huffmanCodec{c}, encs
+	case SchemeNG2, SchemeNG3:
+		n := 2
+		if s == SchemeNG3 {
+			n = 3
+		}
+		c := ngram.Train(n, parts)
+		encs := make([][]byte, len(parts))
+		for i, p := range parts {
+			encs[i] = c.Encode(nil, p)
+		}
+		return ngramCodec{c}, encs
+	case SchemeRP12, SchemeRP16:
+		width := uint(12)
+		if s == SchemeRP16 {
+			width = 16
+		}
+		g, seqs := repair.Train(parts, width)
+		encs := make([][]byte, len(seqs))
+		for i, seq := range seqs {
+			encs[i] = g.EncodeSeq(nil, seq)
+		}
+		return repairCodec{g}, encs
+	default:
+		panic("dict: unknown scheme")
+	}
+}

@@ -1,0 +1,299 @@
+// Package dict implements the 18 compressed string dictionary formats
+// surveyed in Section 3 of the paper: the array and front-coding dictionary
+// classes combined with six string compression schemes (none, bit
+// compression, Huffman/Hu-Tucker, 2-gram, 3-gram, Re-Pair 12/16 bit), plus
+// the special-purpose variants inline front coding, front coding with
+// difference-to-first, fixed-length array, and column-wise bit compression.
+//
+// A dictionary is a read-only, order-preserving mapping between the sorted
+// distinct strings of a column and dense integer value IDs (the string's
+// rank). All formats support extracting a single string without
+// decompressing neighbours, and locate by binary search.
+//
+// Input strings must be strictly ascending, unique, and free of NUL bytes
+// (NUL is used as the raw-scheme terminator, as in the C++ implementation
+// the paper describes).
+package dict
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Format enumerates the dictionary variants. The names follow the paper:
+// the data structure first, then the string compression scheme.
+type Format int
+
+const (
+	Array Format = iota
+	ArrayBC
+	ArrayHU
+	ArrayNG2
+	ArrayNG3
+	ArrayRP12
+	ArrayRP16
+	ArrayFixed
+	FCBlock
+	FCBlockBC
+	FCBlockDF
+	FCBlockHU
+	FCBlockNG2
+	FCBlockNG3
+	FCBlockRP12
+	FCBlockRP16
+	FCInline
+	ColumnBC
+
+	// NumFormats is the number of dictionary variants.
+	NumFormats int = iota
+)
+
+var formatNames = [...]string{
+	Array:       "array",
+	ArrayBC:     "array bc",
+	ArrayHU:     "array hu",
+	ArrayNG2:    "array ng2",
+	ArrayNG3:    "array ng3",
+	ArrayRP12:   "array rp 12",
+	ArrayRP16:   "array rp 16",
+	ArrayFixed:  "array fixed",
+	FCBlock:     "fc block",
+	FCBlockBC:   "fc block bc",
+	FCBlockDF:   "fc block df",
+	FCBlockHU:   "fc block hu",
+	FCBlockNG2:  "fc block ng2",
+	FCBlockNG3:  "fc block ng3",
+	FCBlockRP12: "fc block rp 12",
+	FCBlockRP16: "fc block rp 16",
+	FCInline:    "fc inline",
+	ColumnBC:    "column bc",
+}
+
+// String returns the paper's name for the format, e.g. "fc block rp 12".
+func (f Format) String() string {
+	if f < 0 || int(f) >= len(formatNames) {
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+	return formatNames[f]
+}
+
+// ParseFormat converts a format name back to its Format value.
+func ParseFormat(name string) (Format, error) {
+	name = strings.TrimSpace(name)
+	for i, n := range formatNames {
+		if n == name {
+			return Format(i), nil
+		}
+	}
+	return 0, fmt.Errorf("dict: unknown format %q", name)
+}
+
+// AllFormats returns every format in declaration order.
+func AllFormats() []Format {
+	out := make([]Format, NumFormats)
+	for i := range out {
+		out[i] = Format(i)
+	}
+	return out
+}
+
+// Scheme returns the string compression scheme a format applies.
+func (f Format) Scheme() Scheme {
+	switch f {
+	case ArrayBC, FCBlockBC:
+		return SchemeBC
+	case ArrayHU, FCBlockHU:
+		return SchemeHU
+	case ArrayNG2, FCBlockNG2:
+		return SchemeNG2
+	case ArrayNG3, FCBlockNG3:
+		return SchemeNG3
+	case ArrayRP12, FCBlockRP12:
+		return SchemeRP12
+	case ArrayRP16, FCBlockRP16:
+		return SchemeRP16
+	default:
+		return SchemeNone
+	}
+}
+
+// IsFrontCoded reports whether the format belongs to the front-coding class.
+func (f Format) IsFrontCoded() bool {
+	switch f {
+	case FCBlock, FCBlockBC, FCBlockDF, FCBlockHU, FCBlockNG2, FCBlockNG3,
+		FCBlockRP12, FCBlockRP16, FCInline:
+		return true
+	}
+	return false
+}
+
+// Dictionary is the read-only string dictionary of Definition 1.
+type Dictionary interface {
+	// Extract returns the string with the given value ID.
+	// IDs out of range panic, mirroring slice indexing.
+	Extract(id uint32) string
+
+	// AppendExtract appends the string with the given value ID to dst and
+	// returns the extended slice; it avoids allocation on the hot path.
+	AppendExtract(dst []byte, id uint32) []byte
+
+	// Locate returns the value ID of s if s is in the dictionary
+	// (found == true), or the ID of the first string greater than s
+	// (found == false; the ID equals Len() if every string is smaller).
+	Locate(s string) (id uint32, found bool)
+
+	// Len returns the number of strings.
+	Len() int
+
+	// Bytes returns the total in-memory size of the dictionary in bytes,
+	// including codec tables and auxiliary arrays.
+	Bytes() uint64
+
+	// Format identifies the variant.
+	Format() Format
+
+	// ForEach visits every entry in value-ID order, passing a buffer that
+	// is only valid during the callback. Returning false stops the walk.
+	// Sequential access is much cheaper than repeated Extract calls for
+	// the block-based formats (fc inline exists for exactly this pattern).
+	ForEach(fn func(id uint32, value []byte) bool)
+}
+
+// DefaultFCBlockSize is the number of strings per front-coding block.
+const DefaultFCBlockSize = 16
+
+// DefaultColumnBCBlockSize is the number of strings per column-bc block.
+const DefaultColumnBCBlockSize = 128
+
+// ErrUnsorted is returned when the input is not strictly ascending.
+var ErrUnsorted = errors.New("dict: input strings must be strictly ascending and unique")
+
+// ErrNUL is returned when an input string contains a NUL byte.
+var ErrNUL = errors.New("dict: input strings must not contain NUL bytes")
+
+// Build constructs a dictionary of the given format over strs, which must be
+// strictly ascending, unique and NUL-free.
+func Build(f Format, strs []string) (Dictionary, error) {
+	if err := Validate(strs); err != nil {
+		return nil, err
+	}
+	return build(f, strs)
+}
+
+// BuildUnchecked is Build without input validation, for callers (such as the
+// column-store merge) that construct sorted unique inputs by design.
+func BuildUnchecked(f Format, strs []string) Dictionary {
+	d, err := build(f, strs)
+	if err != nil {
+		panic(err) // build itself never fails on validated input
+	}
+	return d
+}
+
+func build(f Format, strs []string) (Dictionary, error) {
+	switch f {
+	case Array, ArrayBC, ArrayHU, ArrayNG2, ArrayNG3, ArrayRP12, ArrayRP16:
+		return newArrayDict(f, strs), nil
+	case ArrayFixed:
+		return newArrayFixed(strs), nil
+	case FCBlock, FCBlockBC, FCBlockHU, FCBlockNG2, FCBlockNG3, FCBlockRP12, FCBlockRP16:
+		return newFCDict(f, fcModePrev, strs, DefaultFCBlockSize), nil
+	case FCBlockDF:
+		return newFCDict(f, fcModeFirst, strs, DefaultFCBlockSize), nil
+	case FCInline:
+		return newFCDict(f, fcModeInline, strs, DefaultFCBlockSize), nil
+	case ColumnBC:
+		return newColumnBC(strs, DefaultColumnBCBlockSize), nil
+	default:
+		return nil, fmt.Errorf("dict: unknown format %d", int(f))
+	}
+}
+
+// Validate checks the input contract of Build.
+func Validate(strs []string) error {
+	for i, s := range strs {
+		if strings.IndexByte(s, 0) >= 0 {
+			return ErrNUL
+		}
+		if i > 0 && strs[i-1] >= s {
+			return ErrUnsorted
+		}
+	}
+	return nil
+}
+
+// RawBytes returns the summed length of all strings, the numerator of the
+// paper's dictionary compression rate (Definition 2).
+func RawBytes(strs []string) uint64 {
+	var n uint64
+	for _, s := range strs {
+		n += uint64(len(s))
+	}
+	return n
+}
+
+// CompressionRate computes the paper's Definition 2 for a built dictionary:
+// the summed length of the stored strings divided by the dictionary size.
+func CompressionRate(d Dictionary, strs []string) float64 {
+	size := d.Bytes()
+	if size == 0 {
+		return 0
+	}
+	return float64(RawBytes(strs)) / float64(size)
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a and
+// b, capped at 255 so it fits the one-byte front-coding header slot.
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n > 255 {
+		n = 255
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// StructOverhead is the fixed per-dictionary footprint charged by Bytes()
+// for struct and slice headers; size models add the same constant.
+const StructOverhead = arrayOverhead
+
+// CommonPrefixLen exposes the front-coding prefix computation (capped at 255
+// to fit the one-byte header slot) for the size-prediction models.
+func CommonPrefixLen(a, b string) int { return commonPrefixLen(a, b) }
+
+// GenericLocate runs the extraction-based binary search on any dictionary,
+// bypassing format-specific fast paths (such as the encoded-domain
+// comparison of order-preserving array schemes). It exists so ablation
+// benchmarks can quantify what the fast paths buy.
+func GenericLocate(d Dictionary, s string) (uint32, bool) {
+	return locateByExtract(d, d.Len(), s)
+}
+
+// BuildWithFCBlockSize builds a front-coding format with a non-default
+// block size (the default is DefaultFCBlockSize). Used by the block-size
+// ablation; non-front-coded formats return an error.
+func BuildWithFCBlockSize(f Format, strs []string, blockSize int) (Dictionary, error) {
+	if err := Validate(strs); err != nil {
+		return nil, err
+	}
+	if blockSize < 2 {
+		return nil, fmt.Errorf("dict: front-coding block size %d too small", blockSize)
+	}
+	switch f {
+	case FCBlock, FCBlockBC, FCBlockHU, FCBlockNG2, FCBlockNG3, FCBlockRP12, FCBlockRP16:
+		return newFCDict(f, fcModePrev, strs, blockSize), nil
+	case FCBlockDF:
+		return newFCDict(f, fcModeFirst, strs, blockSize), nil
+	case FCInline:
+		return newFCDict(f, fcModeInline, strs, blockSize), nil
+	default:
+		return nil, fmt.Errorf("dict: %s is not a front-coding format", f)
+	}
+}

@@ -1,0 +1,357 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sortedUnique prepares a valid dictionary input from arbitrary strings.
+func sortedUnique(in []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range in {
+		if !seen[s] && !strings.ContainsRune(s, 0) {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// testCorpora returns named inputs that stress different format behaviours.
+func testCorpora() map[string][]string {
+	rng := rand.New(rand.NewSource(123))
+	corpora := make(map[string][]string)
+
+	var words []string
+	base := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+		"eta", "theta", "iota", "kappa", "lambda", "mu"}
+	for _, b := range base {
+		for i := 0; i < 20; i++ {
+			words = append(words, fmt.Sprintf("%s-%03d", b, i))
+		}
+	}
+	corpora["prefixed words"] = sortedUnique(words)
+
+	var nums []string
+	for i := 0; i < 500; i++ {
+		nums = append(nums, fmt.Sprintf("%018d", i*7919))
+	}
+	corpora["fixed digits"] = sortedUnique(nums)
+
+	var random []string
+	for i := 0; i < 300; i++ {
+		b := make([]byte, 1+rng.Intn(30))
+		for j := range b {
+			b[j] = byte(1 + rng.Intn(255))
+		}
+		random = append(random, string(b))
+	}
+	corpora["random bytes"] = sortedUnique(random)
+
+	corpora["single"] = []string{"lonely"}
+	corpora["two"] = []string{"a", "b"}
+	corpora["with empty"] = []string{"", "x", "xx", "xxx"}
+
+	// Exactly block-size and off-by-one cardinalities.
+	var exact []string
+	for i := 0; i < DefaultFCBlockSize*3; i++ {
+		exact = append(exact, fmt.Sprintf("key%05d", i))
+	}
+	corpora["exact blocks"] = exact
+	corpora["blocks+1"] = append(append([]string{}, exact...), "zzz")
+
+	return corpora
+}
+
+func TestAllFormatsRoundTrip(t *testing.T) {
+	for name, strs := range testCorpora() {
+		for _, f := range AllFormats() {
+			t.Run(fmt.Sprintf("%s/%s", f, name), func(t *testing.T) {
+				d, err := Build(f, strs)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if d.Len() != len(strs) {
+					t.Fatalf("Len = %d, want %d", d.Len(), len(strs))
+				}
+				for i, want := range strs {
+					if got := d.Extract(uint32(i)); got != want {
+						t.Fatalf("Extract(%d) = %q, want %q", i, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllFormatsLocate(t *testing.T) {
+	for name, strs := range testCorpora() {
+		for _, f := range AllFormats() {
+			t.Run(fmt.Sprintf("%s/%s", f, name), func(t *testing.T) {
+				d, err := Build(f, strs)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				// Every present string locates to its own ID.
+				for i, s := range strs {
+					id, found := d.Locate(s)
+					if !found || id != uint32(i) {
+						t.Fatalf("Locate(%q) = (%d,%v), want (%d,true)", s, id, found, i)
+					}
+				}
+				// Absent probes return the first greater string's ID
+				// (Definition 1).
+				probes := []string{"", "\x01", "zzzzzzzzzz~", "m"}
+				for _, s := range strs {
+					probes = append(probes, s+"\x01", strings.TrimRight(s, "z")+"z~")
+				}
+				for _, p := range probes {
+					if strings.ContainsRune(p, 0) {
+						continue
+					}
+					id, found := d.Locate(p)
+					wantID := uint32(sort.SearchStrings(strs, p))
+					wantFound := int(wantID) < len(strs) && strs[wantID] == p
+					if id != wantID || found != wantFound {
+						t.Fatalf("Locate(%q) = (%d,%v), want (%d,%v)", p, id, found, wantID, wantFound)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestEmptyDictionary(t *testing.T) {
+	for _, f := range AllFormats() {
+		d, err := Build(f, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if d.Len() != 0 {
+			t.Fatalf("%s: Len = %d", f, d.Len())
+		}
+		if id, found := d.Locate("anything"); found || id != 0 {
+			t.Fatalf("%s: Locate on empty = (%d,%v)", f, id, found)
+		}
+	}
+}
+
+func TestBuildRejectsUnsorted(t *testing.T) {
+	if _, err := Build(Array, []string{"b", "a"}); err != ErrUnsorted {
+		t.Fatalf("err = %v, want ErrUnsorted", err)
+	}
+	if _, err := Build(Array, []string{"a", "a"}); err != ErrUnsorted {
+		t.Fatalf("duplicate err = %v, want ErrUnsorted", err)
+	}
+}
+
+func TestBuildRejectsNUL(t *testing.T) {
+	if _, err := Build(Array, []string{"a\x00b"}); err != ErrNUL {
+		t.Fatalf("err = %v, want ErrNUL", err)
+	}
+}
+
+func TestAppendExtractAppends(t *testing.T) {
+	strs := []string{"aa", "bb", "cc"}
+	for _, f := range AllFormats() {
+		d, err := Build(f, strs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := []byte("prefix:")
+		buf = d.AppendExtract(buf, 1)
+		if string(buf) != "prefix:bb" {
+			t.Fatalf("%s: AppendExtract = %q", f, buf)
+		}
+	}
+}
+
+func TestCompressionRateOrdering(t *testing.T) {
+	// On a highly redundant corpus, the compressing formats must beat the
+	// plain array, and fc block rp must be among the smallest — Figure 3's
+	// qualitative structure.
+	var strs []string
+	for i := 0; i < 2000; i++ {
+		strs = append(strs, fmt.Sprintf("/usr/share/applications/package-%06d.desktop", i))
+	}
+	strs = sortedUnique(strs)
+
+	size := func(f Format) uint64 {
+		d, err := Build(f, strs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Bytes()
+	}
+
+	raw := size(Array)
+	for _, f := range []Format{FCBlock, FCBlockBC, FCBlockHU, ArrayRP12, FCBlockRP12} {
+		if s := size(f); s >= raw {
+			t.Errorf("%s (%d bytes) not smaller than array (%d bytes)", f, s, raw)
+		}
+	}
+	if fcrp, fc := size(FCBlockRP12), size(FCBlock); fcrp >= fc {
+		t.Errorf("fc block rp 12 (%d) not smaller than fc block (%d)", fcrp, fc)
+	}
+}
+
+func TestColumnBCShinesOnFixedLength(t *testing.T) {
+	// Fixed-length structured strings: column bc must compress well.
+	var strs []string
+	for i := 0; i < 3000; i++ {
+		strs = append(strs, fmt.Sprintf("%018d", 100000000+i*13))
+	}
+	strs = sortedUnique(strs)
+	dcol, _ := Build(ColumnBC, strs)
+	draw, _ := Build(Array, strs)
+	if dcol.Bytes() >= draw.Bytes() {
+		t.Errorf("column bc (%d) not smaller than array (%d) on fixed-length digits",
+			dcol.Bytes(), draw.Bytes())
+	}
+}
+
+func TestColumnBCBloatsOnVariableLength(t *testing.T) {
+	// Variable-length text: column bc pads every block to its longest
+	// string and must be bigger than the raw data, as in Figure 3.
+	rng := rand.New(rand.NewSource(99))
+	var strs []string
+	for i := 0; i < 500; i++ {
+		n := 2 + rng.Intn(60)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		strs = append(strs, string(b))
+	}
+	strs = sortedUnique(strs)
+	d, _ := Build(ColumnBC, strs)
+	if d.Bytes() <= RawBytes(strs) {
+		t.Errorf("column bc (%d bytes) unexpectedly below raw size (%d)", d.Bytes(), RawBytes(strs))
+	}
+}
+
+func TestArrayFixedNoPointers(t *testing.T) {
+	// array fixed must cost exactly n*maxLen plus constant overhead.
+	strs := []string{"aa", "bb", "cccc"}
+	d, _ := Build(ArrayFixed, strs)
+	if got, want := d.Bytes(), uint64(3*4)+arrayOverhead; got != want {
+		t.Errorf("Bytes = %d, want %d", got, want)
+	}
+}
+
+func TestFormatStringRoundTrip(t *testing.T) {
+	for _, f := range AllFormats() {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Errorf("ParseFormat(%q) = (%v, %v), want %v", f.String(), got, err, f)
+		}
+	}
+	if _, err := ParseFormat("nonsense"); err == nil {
+		t.Error("ParseFormat accepted nonsense")
+	}
+}
+
+func TestQuickAllFormats(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(31))}
+	for _, f := range AllFormats() {
+		f := f
+		check := func(raw []string) bool {
+			strs := sortedUnique(raw)
+			d, err := Build(f, strs)
+			if err != nil {
+				return false
+			}
+			for i, want := range strs {
+				if d.Extract(uint32(i)) != want {
+					return false
+				}
+				if id, found := d.Locate(want); !found || id != uint32(i) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, cfg); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+func TestLongSharedPrefixBeyondCap(t *testing.T) {
+	// Common prefixes longer than 255 bytes must still round-trip (the
+	// header slot caps the shared part, the rest goes into the suffix).
+	long := strings.Repeat("p", 300)
+	strs := []string{long + "a", long + "b", long + "c"}
+	for _, f := range []Format{FCBlock, FCBlockDF, FCInline, FCBlockHU} {
+		d, err := Build(f, strs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range strs {
+			if got := d.Extract(uint32(i)); got != want {
+				t.Fatalf("%s: Extract(%d) mismatch (len %d vs %d)", f, i, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBytesAccountsForData(t *testing.T) {
+	var strs []string
+	for i := 0; i < 1000; i++ {
+		strs = append(strs, fmt.Sprintf("item-%08d", i))
+	}
+	for _, f := range AllFormats() {
+		d, err := Build(f, strs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Bytes() < 100 {
+			t.Errorf("%s: Bytes() = %d looks unaccounted", f, d.Bytes())
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	var strs []string
+	for i := 0; i < 10000; i++ {
+		strs = append(strs, fmt.Sprintf("customer#%09d", i*37))
+	}
+	strs = sortedUnique(strs)
+	for _, f := range AllFormats() {
+		d, err := Build(f, strs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(f.String(), func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = d.AppendExtract(buf[:0], uint32(i*2654435761)%uint32(d.Len()))
+			}
+		})
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	var strs []string
+	for i := 0; i < 10000; i++ {
+		strs = append(strs, fmt.Sprintf("customer#%09d", i*37))
+	}
+	strs = sortedUnique(strs)
+	for _, f := range AllFormats() {
+		d, err := Build(f, strs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(f.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Locate(strs[(i*2654435761)%len(strs)])
+			}
+		})
+	}
+}

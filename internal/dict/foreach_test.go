@@ -1,0 +1,87 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestForEachMatchesExtract(t *testing.T) {
+	for name, strs := range testCorpora() {
+		for _, f := range AllFormats() {
+			d, err := Build(f, strs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var visited int
+			d.ForEach(func(id uint32, value []byte) bool {
+				if id != uint32(visited) {
+					t.Fatalf("%s/%s: visited id %d, want %d", f, name, id, visited)
+				}
+				if string(value) != strs[id] {
+					t.Fatalf("%s/%s: ForEach(%d) = %q, want %q", f, name, id, value, strs[id])
+				}
+				visited++
+				return true
+			})
+			if visited != len(strs) {
+				t.Fatalf("%s/%s: visited %d of %d", f, name, visited, len(strs))
+			}
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	strs := []string{"a", "b", "c", "d", "e"}
+	for _, f := range AllFormats() {
+		d, _ := Build(f, strs)
+		var visited int
+		d.ForEach(func(id uint32, value []byte) bool {
+			visited++
+			return visited < 3
+		})
+		if visited != 3 {
+			t.Errorf("%s: visited %d after early stop, want 3", f, visited)
+		}
+	}
+}
+
+func TestForEachHashDict(t *testing.T) {
+	strs := []string{"x", "y", "z"}
+	d, err := BuildHash(strs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	d.ForEach(func(id uint32, value []byte) bool {
+		got = append(got, string(value))
+		return true
+	})
+	if fmt.Sprint(got) != fmt.Sprint(strs) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// BenchmarkSequentialScan shows the paper's fc inline design point:
+// sequential ForEach vs per-entry Extract on front-coded formats.
+func BenchmarkSequentialScan(b *testing.B) {
+	var strs []string
+	for i := 0; i < 20000; i++ {
+		strs = append(strs, fmt.Sprintf("https://example.com/items/%08d", i))
+	}
+	for _, f := range []Format{FCInline, FCBlock, Array} {
+		d, _ := Build(f, strs)
+		b.Run(f.String()+"/foreach", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.ForEach(func(uint32, []byte) bool { return true })
+			}
+		})
+		b.Run(f.String()+"/extract-loop", func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				for id := 0; id < d.Len(); id++ {
+					buf = d.AppendExtract(buf[:0], uint32(id))
+				}
+			}
+		})
+	}
+}

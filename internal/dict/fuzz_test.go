@@ -1,0 +1,143 @@
+package dict
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzStrings derives a valid dictionary input from raw fuzz bytes.
+func fuzzStrings(data []byte) []string {
+	fields := strings.Split(string(data), "\n")
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range fields {
+		if !seen[f] && !strings.ContainsRune(f, 0) {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FuzzBuildRoundTrip builds every format over fuzz-derived string sets and
+// checks extract/locate against the input. It doubles as a Marshal/Unmarshal
+// round-trip check for a rotating format.
+func FuzzBuildRoundTrip(f *testing.F) {
+	f.Add([]byte("alpha\nbeta\ngamma"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("a\naa\naaa\naaaa\nab"))
+	f.Add([]byte("0001\n0002\n0003\n0004\n0005\n0006\n0007\n0008"))
+	f.Add([]byte{0xff, 0xfe, '\n', 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strs := fuzzStrings(data)
+		for _, format := range AllFormats() {
+			d, err := Build(format, strs)
+			if err != nil {
+				t.Fatalf("%s: %v", format, err)
+			}
+			for i, want := range strs {
+				if got := d.Extract(uint32(i)); got != want {
+					t.Fatalf("%s: Extract(%d) = %q, want %q", format, i, got, want)
+				}
+				if id, found := d.Locate(want); !found || id != uint32(i) {
+					t.Fatalf("%s: Locate(%q) = (%d,%v)", format, want, id, found)
+				}
+			}
+			// Serialization round trip on one format per input, chosen by
+			// the input's length so all formats get exercised over a corpus.
+			if int(format) == len(data)%NumFormats {
+				blob, err := Marshal(d)
+				if err != nil {
+					t.Fatalf("%s: Marshal: %v", format, err)
+				}
+				rd, err := Unmarshal(blob)
+				if err != nil {
+					t.Fatalf("%s: Unmarshal: %v", format, err)
+				}
+				for i, want := range strs {
+					if got := rd.Extract(uint32(i)); got != want {
+						t.Fatalf("%s: restored Extract(%d) = %q", format, i, got)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzUnmarshal feeds arbitrary bytes to Unmarshal: it must never panic,
+// and any dictionary it accepts must be safe to read.
+func FuzzUnmarshal(f *testing.F) {
+	for _, strs := range [][]string{
+		{"a", "b", "c"},
+		{"x"},
+		nil,
+	} {
+		for _, format := range []Format{Array, ArrayHU, ArrayRP12, FCBlock, FCBlockDF, FCInline, ColumnBC, ArrayFixed} {
+			d, _ := Build(format, strs)
+			blob, _ := Marshal(d)
+			f.Add(blob)
+		}
+	}
+	f.Add([]byte("SDIC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		n := d.Len()
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		for i := 0; i < n; i++ {
+			d.Extract(uint32(i))
+		}
+		d.Locate("probe")
+	})
+}
+
+// TestConcurrentReads verifies that a built dictionary is safe for parallel
+// readers (the read-optimized store serves many queries at once).
+func TestConcurrentReads(t *testing.T) {
+	strs := testCorpora()["prefixed words"]
+	for _, format := range []Format{Array, ArrayHU, FCBlock, FCBlockRP12, ColumnBC} {
+		d, err := Build(format, strs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var buf []byte
+				for i := 0; i < 2000; i++ {
+					id := uint32((i*7 + g*13) % d.Len())
+					buf = d.AppendExtract(buf[:0], id)
+					if string(buf) != strs[id] {
+						errs <- format.String()
+						return
+					}
+					if i%37 == 0 {
+						if got, found := d.Locate(strs[id]); !found || got != id {
+							errs <- format.String()
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for f := range errs {
+			t.Fatalf("%s: concurrent read mismatch", f)
+		}
+	}
+}

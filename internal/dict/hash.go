@@ -1,0 +1,125 @@
+package dict
+
+import (
+	"strdict/internal/bits"
+)
+
+// HashDict is the hashing baseline of Section 3.2: a plain string array
+// with an open-addressing hash index for locate. The paper evaluates it and
+// excludes it from the survey — "the locate performance of this approach is
+// quite good, yet both extract performance and compression rate are
+// dominated by other approaches" — and this implementation exists to
+// reproduce that comparison (see BenchmarkBaselineHash).
+//
+// Value IDs are still the strings' sorted ranks, so HashDict is
+// drop-in comparable with the survey formats; a hash miss falls back to
+// binary search to honour Definition 1's "first greater" semantics.
+type HashDict struct {
+	n       int
+	data    []byte            // raw strings, NUL-terminated
+	offsets *bits.PackedArray // n+1
+	table   []int32           // open addressing, -1 = empty; len is a power of two
+}
+
+// BuildHash constructs the hashing baseline over sorted unique strings.
+func BuildHash(strs []string) (*HashDict, error) {
+	if err := Validate(strs); err != nil {
+		return nil, err
+	}
+	n := len(strs)
+	d := &HashDict{n: n}
+	offs := make([]uint64, n+1)
+	for i, s := range strs {
+		offs[i] = uint64(len(d.data))
+		d.data = append(d.data, s...)
+		d.data = append(d.data, 0)
+	}
+	offs[n] = uint64(len(d.data))
+	d.offsets = bits.PackSlice(offs)
+
+	size := 1
+	for size < n*2 { // load factor <= 0.5
+		size <<= 1
+	}
+	d.table = make([]int32, size)
+	for i := range d.table {
+		d.table[i] = -1
+	}
+	for i, s := range strs {
+		slot := hashString(s) & uint64(size-1)
+		for d.table[slot] >= 0 {
+			slot = (slot + 1) & uint64(size-1)
+		}
+		d.table[slot] = int32(i)
+	}
+	return d, nil
+}
+
+// hashString is FNV-1a, inlined to stay allocation-free.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (d *HashDict) raw(id uint32) []byte {
+	lo := d.offsets.Get(int(id))
+	hi := d.offsets.Get(int(id)+1) - 1 // strip NUL
+	return d.data[lo:hi]
+}
+
+// Extract returns the string with the given value ID.
+func (d *HashDict) Extract(id uint32) string {
+	return string(d.raw(id))
+}
+
+// AppendExtract appends the string with the given value ID to dst.
+func (d *HashDict) AppendExtract(dst []byte, id uint32) []byte {
+	return append(dst, d.raw(id)...)
+}
+
+// Locate implements Definition 1: a hash probe answers present strings in
+// O(1); absent strings fall back to binary search for the first-greater ID.
+func (d *HashDict) Locate(s string) (uint32, bool) {
+	if len(d.table) > 0 {
+		slot := hashString(s) & uint64(len(d.table)-1)
+		for {
+			id := d.table[slot]
+			if id < 0 {
+				break
+			}
+			if string(d.raw(uint32(id))) == s {
+				return uint32(id), true
+			}
+			slot = (slot + 1) & uint64(len(d.table)-1)
+		}
+	}
+	// Hash miss: the string is absent; find the first greater entry.
+	lo, hi := 0, d.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if string(d.raw(uint32(mid))) < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo), false
+}
+
+// Len returns the number of strings.
+func (d *HashDict) Len() int { return d.n }
+
+// Bytes returns the total in-memory size: string data, offsets, and the
+// hash table — the table is what dominates the paper's compression-rate
+// complaint.
+func (d *HashDict) Bytes() uint64 {
+	return uint64(len(d.data)) + d.offsets.Bytes() + uint64(len(d.table))*4 + arrayOverhead
+}

@@ -1,0 +1,87 @@
+package dict
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestHashDictRoundTrip(t *testing.T) {
+	for name, strs := range testCorpora() {
+		t.Run(name, func(t *testing.T) {
+			d, err := BuildHash(strs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, want := range strs {
+				if got := d.Extract(uint32(i)); got != want {
+					t.Fatalf("Extract(%d) = %q, want %q", i, got, want)
+				}
+				if id, found := d.Locate(want); !found || id != uint32(i) {
+					t.Fatalf("Locate(%q) = (%d,%v)", want, id, found)
+				}
+			}
+			// Absent probes honour Definition 1.
+			for _, probe := range []string{"", "\x01zz", "~~~~~~"} {
+				id, found := d.Locate(probe)
+				wantID := uint32(sort.SearchStrings(strs, probe))
+				wantFound := int(wantID) < len(strs) && strs[wantID] == probe
+				if id != wantID || found != wantFound {
+					t.Fatalf("Locate(%q) = (%d,%v), want (%d,%v)", probe, id, found, wantID, wantFound)
+				}
+			}
+		})
+	}
+}
+
+func TestHashDictRejectsBadInput(t *testing.T) {
+	if _, err := BuildHash([]string{"b", "a"}); err != ErrUnsorted {
+		t.Fatal("accepted unsorted input")
+	}
+}
+
+func TestHashDictDominatedOnCompression(t *testing.T) {
+	// The paper's reason for excluding hashing: its compression rate is
+	// dominated — the hash table adds space on top of the raw strings, so
+	// even the plain array beats it.
+	var strs []string
+	for i := 0; i < 5000; i++ {
+		strs = append(strs, fmt.Sprintf("element-%06d", i))
+	}
+	h, err := BuildHash(strs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildUnchecked(Array, strs)
+	if h.Bytes() <= a.Bytes() {
+		t.Errorf("hash dict (%d bytes) unexpectedly beat array (%d bytes)", h.Bytes(), a.Bytes())
+	}
+}
+
+func TestHashDictEmpty(t *testing.T) {
+	d, err := BuildHash(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("non-empty")
+	}
+	if id, found := d.Locate("x"); found || id != 0 {
+		t.Fatalf("Locate on empty = (%d,%v)", id, found)
+	}
+}
+
+func BenchmarkHashDictLocate(b *testing.B) {
+	var strs []string
+	for i := 0; i < 20000; i++ {
+		strs = append(strs, fmt.Sprintf("element-%06d", i))
+	}
+	h, err := BuildHash(strs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Locate(strs[(i*2654435761)%len(strs)])
+	}
+}

@@ -1,0 +1,86 @@
+package dict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllFormatsAgree is the differential oracle: every format must realize
+// exactly the same mapping on the same input — same Extract results, same
+// Locate IDs and found flags, for present and absent probes alike.
+func TestAllFormatsAgree(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(77))}
+	check := func(raw []string, probes []string) bool {
+		strs := sortedUnique(raw)
+		dicts := make([]Dictionary, 0, NumFormats)
+		for _, f := range AllFormats() {
+			d, err := Build(f, strs)
+			if err != nil {
+				return false
+			}
+			dicts = append(dicts, d)
+		}
+		ref := dicts[0]
+		for i := range strs {
+			want := ref.Extract(uint32(i))
+			for _, d := range dicts[1:] {
+				if d.Extract(uint32(i)) != want {
+					return false
+				}
+			}
+		}
+		for _, p := range probes {
+			if hasNUL(p) {
+				continue
+			}
+			wantID, wantFound := ref.Locate(p)
+			for _, d := range dicts[1:] {
+				if id, found := d.Locate(p); id != wantID || found != wantFound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasNUL(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBytesStableAcrossReads ensures reads do not change the reported size
+// (no hidden caches growing the footprint).
+func TestBytesStableAcrossReads(t *testing.T) {
+	strs := testCorpora()["prefixed words"]
+	for _, f := range AllFormats() {
+		d, _ := Build(f, strs)
+		before := d.Bytes()
+		for i := 0; i < d.Len(); i++ {
+			d.Extract(uint32(i))
+		}
+		d.Locate("zzz")
+		d.ForEach(func(uint32, []byte) bool { return true })
+		if d.Bytes() != before {
+			t.Errorf("%s: Bytes changed %d -> %d after reads", f, before, d.Bytes())
+		}
+	}
+}
+
+// TestCompressionRateDefinition checks Definition 2 arithmetic.
+func TestCompressionRateDefinition(t *testing.T) {
+	strs := []string{"aaaa", "bbbb"} // 8 raw bytes
+	d, _ := Build(Array, strs)
+	want := 8.0 / float64(d.Bytes())
+	if got := CompressionRate(d, strs); got != want {
+		t.Fatalf("rate %g, want %g", got, want)
+	}
+}

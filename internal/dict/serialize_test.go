@@ -1,0 +1,152 @@
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestMarshalRoundTripAllFormats(t *testing.T) {
+	for name, strs := range testCorpora() {
+		for _, f := range AllFormats() {
+			t.Run(fmt.Sprintf("%s/%s", f, name), func(t *testing.T) {
+				orig, err := Build(f, strs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err := Marshal(orig)
+				if err != nil {
+					t.Fatalf("Marshal: %v", err)
+				}
+				restored, err := Unmarshal(blob)
+				if err != nil {
+					t.Fatalf("Unmarshal: %v", err)
+				}
+				if restored.Format() != f || restored.Len() != orig.Len() {
+					t.Fatalf("header mismatch: %s/%d", restored.Format(), restored.Len())
+				}
+				for i, want := range strs {
+					if got := restored.Extract(uint32(i)); got != want {
+						t.Fatalf("Extract(%d) = %q, want %q", i, got, want)
+					}
+					if id, found := restored.Locate(want); !found || id != uint32(i) {
+						t.Fatalf("Locate(%q) = (%d,%v)", want, id, found)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	strs := []string{"aaa", "bbb", "ccc", "ddd"}
+	for _, f := range AllFormats() {
+		d, _ := Build(f, strs)
+		a, _ := Marshal(d)
+		b, _ := Marshal(d)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: non-deterministic serialization", f)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("not a dictionary at all"),
+		{'S', 'D', 'I', 'C'},         // truncated after magic
+		{'S', 'D', 'I', 'C', 99, 0},  // bad version
+		{'S', 'D', 'I', 'C', 1, 250}, // bad format
+		append([]byte{'S', 'D', 'I', 'C', 1, 0}, bytes.Repeat([]byte{0xff}, 8)...),
+	}
+	for i, blob := range cases {
+		if _, err := Unmarshal(blob); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncations(t *testing.T) {
+	strs := []string{"alpha", "beta", "delta", "epsilon", "gamma"}
+	for _, f := range []Format{Array, ArrayBC, ArrayHU, ArrayRP12, FCBlock, FCBlockDF, FCInline, ColumnBC, ArrayFixed} {
+		d, _ := Build(f, strs)
+		blob, _ := Marshal(d)
+		for cut := 0; cut < len(blob); cut += 3 {
+			if _, err := Unmarshal(blob[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d accepted", f, cut)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsBitFlips(t *testing.T) {
+	// Every single-byte corruption must either fail validation or produce a
+	// dictionary whose reads do not panic. (Silent value changes are
+	// acceptable — there is no checksum — but memory safety is guaranteed.)
+	strs := []string{"five", "four", "one", "six", "three", "two"}
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range []Format{Array, ArrayHU, FCBlock, FCBlockDF, ColumnBC} {
+		d, _ := Build(f, strs)
+		blob, _ := Marshal(d)
+		for trial := 0; trial < 300; trial++ {
+			corrupted := append([]byte(nil), blob...)
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 << rng.Intn(8))
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s trial %d: panic on corrupted input: %v", f, trial, r)
+					}
+				}()
+				rd, err := Unmarshal(corrupted)
+				if err != nil {
+					return
+				}
+				// Reads must stay in bounds even if values changed.
+				for i := 0; i < rd.Len(); i++ {
+					rd.Extract(uint32(i))
+				}
+				rd.Locate("three")
+			}()
+		}
+	}
+}
+
+func TestMarshalSizeReasonable(t *testing.T) {
+	// The serialized form should be close to the in-memory footprint (it is
+	// the same data plus small headers).
+	var strs []string
+	for i := 0; i < 5000; i++ {
+		strs = append(strs, fmt.Sprintf("entry-%08d", i))
+	}
+	for _, f := range AllFormats() {
+		d, _ := Build(f, strs)
+		blob, err := Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(len(blob)) > 2*d.Bytes()+1024 {
+			t.Errorf("%s: %d serialized bytes for %d in-memory bytes", f, len(blob), d.Bytes())
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	var strs []string
+	for i := 0; i < 20000; i++ {
+		strs = append(strs, fmt.Sprintf("part-%08d", i))
+	}
+	for _, f := range []Format{Array, FCBlock, FCBlockRP12} {
+		d, _ := Build(f, strs)
+		blob, _ := Marshal(d)
+		b.Run(f.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(blob)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Unmarshal(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"strdict/internal/colstore"
+	"strdict/internal/core"
+	"strdict/internal/tpch"
+)
+
+// DecideWith runs the per-column selection with an explicit strategy.
+func (e *TPCHExperiment) DecideWith(strategy core.Strategy, c float64) map[string]core.Candidate {
+	out := make(map[string]core.Candidate, len(e.traced))
+	for _, tc := range e.traced {
+		cands := core.Candidates(e.statsOf(tc), e.costs)
+		out[tc.col.Name()] = core.Select(strategy, c, cands)
+	}
+	return out
+}
+
+// StrategyComparison measures the three dividing-function strategies of
+// Section 5.4 end to end at the same trade-off parameter: const ignores
+// access frequency, rel shifts the budget for hot columns, tilt slants it.
+// The paper develops all three and evaluates tilt; this ablation shows what
+// the other two would have done.
+func StrategyComparison(w io.Writer, e *TPCHExperiment, c float64) []TPCHPoint {
+	fmt.Fprintf(w, "Strategy ablation at c=%g (Section 5.4)\n", c)
+	fmt.Fprintf(w, "%-8s %14s %12s %22s\n", "strategy", "runtime", "memory MiB", "distinct formats used")
+	var points []TPCHPoint
+	for _, strat := range []core.Strategy{core.StrategyConst, core.StrategyRel, core.StrategyTilt} {
+		decisions := e.DecideWith(strat, c)
+		for _, tc := range e.traced {
+			tc.col.Rebuild(decisions[tc.col.Name()].Format)
+		}
+		p := e.measure(strat.String())
+		points = append(points, p)
+		distinct := make(map[string]bool)
+		for _, cand := range decisions {
+			distinct[cand.Format.String()] = true
+		}
+		fmt.Fprintf(w, "%-8s %14v %12.2f %22d\n",
+			strat, p.Runtime.Round(time.Millisecond), float64(p.MemBytes)/(1<<20), len(distinct))
+	}
+	return points
+}
+
+// WorkloadReport prints the traced per-column dictionary operation counts —
+// the "Number of Extracts / Number of Locates" inputs of the manager's
+// information flow (the paper's Figure 7). Columns are listed by total
+// dictionary traffic, heaviest first.
+func WorkloadReport(w io.Writer, s *colstore.Store) {
+	type row struct {
+		name               string
+		extracts, locates  uint64
+		dictLen            int
+		dictBytes, vecByte uint64
+	}
+	var rows []row
+	for _, c := range s.StringColumns() {
+		st := c.Stats()
+		rows = append(rows, row{
+			name: c.Name(), extracts: st.Extracts, locates: st.Locates,
+			dictLen: c.DictLen(), dictBytes: c.DictBytes(), vecByte: c.VectorBytes(),
+		})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].extracts+rows[j].locates > rows[i].extracts+rows[i].locates {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-24s %12s %10s %10s %12s %12s\n",
+		"column", "extracts", "locates", "distinct", "dict bytes", "vector bytes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %12d %10d %10d %12d %12d\n",
+			r.name, r.extracts, r.locates, r.dictLen, r.dictBytes, r.vecByte)
+	}
+}
+
+// TraceAndReport runs one workload pass over a fresh trace and prints the
+// report (cmd/tpchbench -figure workload).
+func TraceAndReport(w io.Writer, e *TPCHExperiment) {
+	e.Store.ResetStats()
+	tpch.RunAll(e.Store)
+	WorkloadReport(w, e.Store)
+}

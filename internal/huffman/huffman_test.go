@@ -1,0 +1,220 @@
+package huffman
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func corpus(strs ...string) [][]byte {
+	parts := make([][]byte, len(strs))
+	for i, s := range strs {
+		parts[i] = []byte(s)
+	}
+	return parts
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	parts := corpus("hello", "help", "hold", "world", "")
+	c := Train(parts)
+	for _, p := range parts {
+		enc := c.Encode(nil, p)
+		dec := c.Decode(nil, enc)
+		if !bytes.Equal(dec, p) {
+			t.Errorf("round trip %q -> %q", p, dec)
+		}
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	c := Train(corpus("abc"))
+	enc := c.Encode(nil, nil)
+	if len(enc) == 0 {
+		t.Fatal("empty string must still encode the EOS code")
+	}
+	if dec := c.Decode(nil, enc); len(dec) != 0 {
+		t.Fatalf("decoded %q, want empty", dec)
+	}
+}
+
+func TestSingleSymbolCorpus(t *testing.T) {
+	// Only EOS and 'a' occur; both must still round-trip.
+	c := Train(corpus("aaaa"))
+	enc := c.Encode(nil, []byte("aa"))
+	if dec := c.Decode(nil, enc); string(dec) != "aa" {
+		t.Fatalf("decoded %q", dec)
+	}
+}
+
+func TestCompressionBeatsRawOnSkewedText(t *testing.T) {
+	text := strings.Repeat("aaaaaaaabbbbccd", 200)
+	parts := corpus(text)
+	c := Train(parts)
+	enc := c.Encode(nil, []byte(text))
+	if len(enc) >= len(text) {
+		t.Fatalf("no compression: %d >= %d", len(enc), len(text))
+	}
+	// Entropy of this distribution is ~1.75 bits/char, allow slack for EOS.
+	if got, max := len(enc), len(text)*2/8+16; got > max {
+		t.Errorf("encoded %d bytes, expected <= %d", got, max)
+	}
+}
+
+func TestPrefixFreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(rng.Intn(40)) // skewed-ish small alphabet
+	}
+	c := Train([][]byte{data})
+	type cw struct {
+		code uint32
+		l    int
+	}
+	var codes []cw
+	for s := 0; s < NumSymbols; s++ {
+		if l := c.CodeLen(s); l > 0 {
+			codes = append(codes, cw{c.codeOf[s], l})
+		}
+	}
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			a, b := codes[i], codes[j]
+			if a.l <= b.l && a.code == b.code>>(uint(b.l-a.l)) {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.code, a.l, b.code, b.l)
+			}
+		}
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	parts := corpus("the quick brown fox", "jumps over", "the lazy dog")
+	c := Train(parts)
+	var kraft float64
+	for s := 0; s < NumSymbols; s++ {
+		if l := c.CodeLen(s); l > 0 {
+			kraft += 1 / float64(uint64(1)<<uint(l))
+		}
+	}
+	if kraft > 1.0000001 {
+		t.Fatalf("Kraft sum %f > 1", kraft)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	// Train on random binary data; all 257 symbols get codes, so any string
+	// can be encoded.
+	train := make([]byte, 8192)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(train)
+	c := Train([][]byte{train})
+	f := func(s []byte) bool {
+		enc := c.Encode(nil, s)
+		return bytes.Equal(c.Decode(nil, enc), s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMultipleFromSharedStream(t *testing.T) {
+	parts := corpus("alpha", "beta", "gamma")
+	c := Train(parts)
+	var enc []byte
+	for _, p := range parts {
+		enc = c.Encode(enc, p)
+	}
+	// Each string was byte-aligned, so decode sequentially by re-slicing.
+	var out []string
+	rest := enc
+	for range parts {
+		dec := c.Decode(nil, rest)
+		out = append(out, string(dec))
+		// advance: re-encode to find the byte length
+		n := len(c.Encode(nil, dec))
+		rest = rest[n:]
+	}
+	for i, p := range parts {
+		if out[i] != string(p) {
+			t.Errorf("stream decode %d: got %q want %q", i, out[i], p)
+		}
+	}
+}
+
+func TestEncodeUntrainedSymbolPanics(t *testing.T) {
+	c := Train(corpus("aaa"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for untrained symbol")
+		}
+	}()
+	c.Encode(nil, []byte("z"))
+}
+
+func TestTableBytesPositive(t *testing.T) {
+	c := Train(corpus("x"))
+	if c.TableBytes() == 0 {
+		t.Fatal("TableBytes must account for the model")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	text := []byte(strings.Repeat("SELECT * FROM lineitem WHERE l_quantity > 24;", 8))
+	c := Train([][]byte{text})
+	enc := c.Encode(nil, text)
+	buf := make([]byte, 0, len(text))
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Decode(buf[:0], enc)
+	}
+}
+
+// TestCostWithinEntropyBound checks the classic Huffman optimality bound:
+// expected code length is within one bit per symbol of the entropy.
+func TestCostWithinEntropyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 4096)
+		alpha := 2 + rng.Intn(60)
+		for i := range data {
+			// Skewed distribution: squared uniform.
+			v := rng.Intn(alpha)
+			data[i] = byte(v * v % alpha)
+		}
+		c := Train([][]byte{data})
+
+		var freq [NumSymbols]float64
+		var total float64
+		for _, b := range data {
+			freq[b]++
+			total++
+		}
+		freq[EOS]++
+		total++
+
+		var entropy, expected float64
+		for s := 0; s < NumSymbols; s++ {
+			if freq[s] == 0 {
+				continue
+			}
+			p := freq[s] / total
+			entropy += -p * log2(p)
+			expected += p * float64(c.CodeLen(s))
+		}
+		if expected < entropy-1e-9 {
+			t.Fatalf("trial %d: expected length %.4f below entropy %.4f", trial, expected, entropy)
+		}
+		if expected > entropy+1 {
+			t.Fatalf("trial %d: expected length %.4f exceeds entropy+1 (%.4f)", trial, expected, entropy+1)
+		}
+	}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,70 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestLongCodesUseSlowPath builds a code with lengths beyond the LUT width
+// (Fibonacci-like frequencies force very skewed depths) and verifies decode
+// still round-trips through the canonical slow path.
+func TestLongCodesUseSlowPath(t *testing.T) {
+	var freq [NumSymbols]uint64
+	// Fibonacci weights give maximally deep Huffman trees.
+	a, b := uint64(1), uint64(1)
+	for s := 0; s < 30; s++ {
+		freq[s] = a
+		a, b = b, a+b
+	}
+	freq[EOS] = 1
+	c := fromFrequencies(&freq)
+
+	deep := 0
+	for s := 0; s < 30; s++ {
+		if c.CodeLen(s) > int(lutBits) {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Fatal("test premise broken: no codes longer than the LUT width")
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Intn(30))
+		}
+		enc := c.Encode(nil, src)
+		if dec := c.Decode(nil, enc); !bytes.Equal(dec, src) {
+			t.Fatalf("trial %d: round trip failed", trial)
+		}
+	}
+}
+
+// TestLUTAgreesWithSlowPath decodes with the LUT-enabled codec and a copy
+// whose LUT is disabled, comparing outputs.
+func TestLUTAgreesWithSlowPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := make([]byte, 4096)
+	rng.Read(train)
+	c := Train([][]byte{train})
+
+	slow := *c
+	for i := range slow.lut {
+		slow.lut[i] = 0 // every lookup escapes to readSymbol
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		src := make([]byte, rng.Intn(60))
+		rng.Read(src)
+		enc := c.Encode(nil, src)
+		fast := c.Decode(nil, enc)
+		ref := slow.Decode(nil, enc)
+		if !bytes.Equal(fast, ref) || !bytes.Equal(fast, src) {
+			t.Fatalf("trial %d: fast %q ref %q src %q", trial, fast, ref, src)
+		}
+	}
+}

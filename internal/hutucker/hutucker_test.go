@@ -1,0 +1,238 @@
+package hutucker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strdict/internal/huffman"
+)
+
+func corpus(strs ...string) [][]byte {
+	parts := make([][]byte, len(strs))
+	for i, s := range strs {
+		parts[i] = []byte(s)
+	}
+	return parts
+}
+
+func TestRoundTrip(t *testing.T) {
+	parts := corpus("mercury", "venus", "earth", "mars", "", "jupiter")
+	c := Train(parts)
+	for _, p := range parts {
+		enc := c.Encode(nil, p)
+		if dec := c.Decode(nil, enc); !bytes.Equal(dec, p) {
+			t.Errorf("round trip %q -> %q", p, dec)
+		}
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	c := Train(corpus("bbbb"))
+	enc := c.Encode(nil, []byte("bb"))
+	if dec := c.Decode(nil, enc); string(dec) != "bb" {
+		t.Fatalf("decoded %q", dec)
+	}
+}
+
+// optimalAlphabeticCost computes, by dynamic programming, the minimum
+// weighted path length of any alphabetic binary tree over the given leaf
+// weights. Hu-Tucker must match it exactly.
+func optimalAlphabeticCost(w []uint64) uint64 {
+	n := len(w)
+	if n == 1 {
+		return w[0] // depth 1 by our convention for a single symbol
+	}
+	prefix := make([]uint64, n+1)
+	for i, x := range w {
+		prefix[i+1] = prefix[i] + x
+	}
+	sum := func(i, j int) uint64 { return prefix[j+1] - prefix[i] }
+	const inf = ^uint64(0)
+	cost := make([][]uint64, n)
+	for i := range cost {
+		cost[i] = make([]uint64, n)
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length-1 < n; i++ {
+			j := i + length - 1
+			best := inf
+			for k := i; k < j; k++ {
+				c := cost[i][k] + cost[k+1][j]
+				if c < best {
+					best = c
+				}
+			}
+			cost[i][j] = best + sum(i, j)
+		}
+	}
+	return cost[0][n-1]
+}
+
+func TestOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(11)
+		weights := make([]uint64, n)
+		for i := range weights {
+			if trial%3 == 0 {
+				weights[i] = 1 // all-ties case stresses tie-breaking
+			} else {
+				weights[i] = uint64(rng.Intn(50) + 1)
+			}
+		}
+		var freq [NumSymbols]uint64
+		for i, w := range weights {
+			freq[i] = w
+		}
+		c := fromFrequencies(&freq)
+		var got uint64
+		for i, w := range weights {
+			got += w * uint64(c.lenOf[i])
+		}
+		want := optimalAlphabeticCost(weights)
+		if got != want {
+			t.Fatalf("trial %d weights %v: cost %d, optimal %d", trial, weights, got, want)
+		}
+	}
+}
+
+func TestLargerOptimalityAgainstHuffmanBound(t *testing.T) {
+	// An alphabetic code can never beat the unrestricted Huffman code;
+	// check cost sanity on a realistic distribution.
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 20000)
+	for i := range data {
+		data[i] = byte('a' + rng.Intn(26))
+	}
+	c := Train([][]byte{data})
+	for b := byte('a'); b <= 'z'; b++ {
+		if c.CodeLen(b) == 0 {
+			t.Fatalf("letter %c got no code", b)
+		}
+		if c.CodeLen(b) > 12 {
+			t.Fatalf("letter %c code too long: %d", b, c.CodeLen(b))
+		}
+	}
+}
+
+func TestOrderPreservation(t *testing.T) {
+	train := [][]byte{[]byte("abcdefghijklmnopqrstuvwxyz0123456789 -_/")}
+	c := Train(train)
+	enc := func(s string) []byte { return c.Encode(nil, []byte(s)) }
+	cases := [][2]string{
+		{"abc", "abd"}, {"abc", "abcd"}, {"", "a"}, {"mango", "mangos"},
+		{"a", "b"}, {"zz", "zza"}, {"0", "1"}, {"abc-", "abc/"},
+	}
+	for _, cse := range cases {
+		lo, hi := enc(cse[0]), enc(cse[1])
+		if bytes.Compare(lo, hi) >= 0 {
+			t.Errorf("order violated: enc(%q) >= enc(%q)", cse[0], cse[1])
+		}
+	}
+}
+
+func TestOrderPreservationQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := make([]byte, 4096)
+	rng.Read(train)
+	c := Train([][]byte{train})
+	f := func(a, b []byte) bool {
+		ea, eb := c.Encode(nil, a), c.Encode(nil, b)
+		cmpOrig := bytes.Compare(a, b)
+		cmpEnc := bytes.Compare(ea, eb)
+		if cmpOrig == 0 {
+			return cmpEnc == 0
+		}
+		// Byte-aligned padding with zeros cannot flip the order because EOS
+		// is the lexicographically smallest code, but equal-prefix encodings
+		// of unequal strings can only differ after the shorter one's EOS.
+		return (cmpOrig < 0) == (cmpEnc < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixFree(t *testing.T) {
+	parts := corpus("hello world", "here be dragons", "12345")
+	c := Train(parts)
+	type cw struct {
+		code uint64
+		l    int
+	}
+	var codes []cw
+	for s := 0; s < NumSymbols; s++ {
+		if c.lenOf[s] > 0 {
+			codes = append(codes, cw{c.codeOf[s], int(c.lenOf[s])})
+		}
+	}
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			a, b := codes[i], codes[j]
+			if a.l <= b.l && a.code == b.code>>uint(b.l-a.l) {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.code, a.l, b.code, b.l)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	train := make([]byte, 8192)
+	rng.Read(train)
+	c := Train([][]byte{train})
+	f := func(s []byte) bool {
+		return bytes.Equal(c.Decode(nil, c.Encode(nil, s)), s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	text := []byte("PROMO BURNISHED COPPER anti-dependencies 1995-03-15")
+	c := Train([][]byte{text})
+	enc := c.Encode(nil, text)
+	buf := make([]byte, 0, len(text))
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Decode(buf[:0], enc)
+	}
+}
+
+// TestAlphabeticNeverBeatsHuffman: the alphabetic-order restriction can only
+// cost bits, never save them, relative to unrestricted Huffman codes.
+func TestAlphabeticNeverBeatsHuffman(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		parts := make([][]byte, 1+rng.Intn(20))
+		for i := range parts {
+			b := make([]byte, rng.Intn(100))
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(10+trial%16))
+			}
+			parts[i] = b
+		}
+		ht := Train(parts)
+		hf := huffman.Train(parts)
+
+		var htBits, hfBits int
+		for _, p := range parts {
+			htBits += ht.EOSLen()
+			hfBits += hf.CodeLen(huffman.EOS)
+			for _, b := range p {
+				htBits += ht.CodeLen(b)
+				hfBits += hf.CodeLen(int(b))
+			}
+		}
+		if htBits < hfBits {
+			t.Fatalf("trial %d: hu-tucker (%d bits) beat huffman (%d bits)", trial, htBits, hfBits)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package model
+
+import (
+	"math/rand"
+	"time"
+
+	"strdict/internal/dict"
+)
+
+// Costs holds the runtime constants of one dictionary format, per
+// Section 4.1: a constant time per extract call, per locate call, and per
+// tuple for construction. The paper found that this simplistic model is as
+// robust as more sophisticated ones.
+type Costs struct {
+	ExtractNs   float64 // ns per extract
+	LocateNs    float64 // ns per locate
+	ConstructNs float64 // ns per string during construction
+}
+
+// CostTable maps every format to its runtime constants.
+type CostTable [dict.NumFormats]Costs
+
+// Of returns the constants of a format.
+func (t *CostTable) Of(f dict.Format) Costs { return t[f] }
+
+// TimeNs computes the total time (ns) a dictionary instance of format f
+// spends in its three methods over its lifetime, per Section 5.2:
+//
+//	time(d) = #extracts·t_e(d) + #locates·t_l(d) + #strings·t_c(d)
+func (t *CostTable) TimeNs(f dict.Format, extracts, locates, numStrings uint64) float64 {
+	c := t[f]
+	return float64(extracts)*c.ExtractNs +
+		float64(locates)*c.LocateNs +
+		float64(numStrings)*c.ConstructNs
+}
+
+// Calibrate determines the runtime constants with microbenchmarks, as the
+// paper does at installation time: every format is built on each corpus and
+// its operations are timed; the constants are the averages across corpora.
+//
+// Corpora should be sorted unique string sets of a few thousand entries;
+// pass datagen corpora for the paper's setup.
+func Calibrate(corpora [][]string) *CostTable {
+	var table CostTable
+	if len(corpora) == 0 {
+		return DefaultCostTable()
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range dict.AllFormats() {
+		var ext, loc, con float64
+		for _, strs := range corpora {
+			e, l, c := measureFormat(f, strs, rng)
+			ext += e
+			loc += l
+			con += c
+		}
+		n := float64(len(corpora))
+		table[f] = Costs{ExtractNs: ext / n, LocateNs: loc / n, ConstructNs: con / n}
+	}
+	return &table
+}
+
+func measureFormat(f dict.Format, strs []string, rng *rand.Rand) (extractNs, locateNs, constructNs float64) {
+	const rounds = 3
+	var bestBuild time.Duration
+	var d dict.Dictionary
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		d = dict.BuildUnchecked(f, strs)
+		el := time.Since(start)
+		if r == 0 || el < bestBuild {
+			bestBuild = el
+		}
+	}
+	n := len(strs)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	constructNs = float64(bestBuild.Nanoseconds()) / float64(n)
+
+	// Random access patterns, pre-drawn so the RNG is outside the timing.
+	const ops = 2000
+	ids := make([]uint32, ops)
+	for i := range ids {
+		ids[i] = uint32(rng.Intn(n))
+	}
+	var buf []byte
+	start := time.Now()
+	for _, id := range ids {
+		buf = d.AppendExtract(buf[:0], id)
+	}
+	extractNs = float64(time.Since(start).Nanoseconds()) / ops
+
+	probes := make([]string, ops/4)
+	for i := range probes {
+		probes[i] = strs[rng.Intn(n)]
+	}
+	start = time.Now()
+	for _, p := range probes {
+		d.Locate(p)
+	}
+	locateNs = float64(time.Since(start).Nanoseconds()) / float64(len(probes))
+	return extractNs, locateNs, constructNs
+}
+
+// DefaultCostTable returns constants measured once with Calibrate over the
+// datagen corpora on the reference development machine. They encode the
+// relative ordering the paper reports (uncompressed array variants fastest,
+// fixed-width schemes in the middle, Huffman slower, Re-Pair slowest;
+// front coding pays a block-walk on top) and are good enough for format
+// selection when running Calibrate at start-up is not wanted.
+func DefaultCostTable() *CostTable {
+	var t CostTable
+	set := func(f dict.Format, e, l, c float64) { t[f] = Costs{e, l, c} }
+	// format, extract ns, locate ns, construct ns/string — output of
+	// `dictbench -figure calibrate` on the reference machine.
+	set(dict.Array, 28, 435, 126)
+	set(dict.ArrayBC, 287, 719, 364)
+	set(dict.ArrayHU, 294, 741, 404)
+	set(dict.ArrayNG2, 159, 2527, 1747)
+	set(dict.ArrayNG3, 125, 1994, 1812)
+	set(dict.ArrayRP12, 260, 3142, 6603)
+	set(dict.ArrayRP16, 278, 4951, 6906)
+	set(dict.ArrayFixed, 17, 288, 13)
+	set(dict.FCBlock, 157, 1299, 132)
+	set(dict.FCBlockBC, 922, 8183, 258)
+	set(dict.FCBlockDF, 46, 811, 134)
+	set(dict.FCBlockHU, 1248, 12577, 338)
+	set(dict.FCBlockNG2, 801, 14044, 894)
+	set(dict.FCBlockNG3, 1602, 8006, 1454)
+	set(dict.FCBlockRP12, 1381, 9359, 4171)
+	set(dict.FCBlockRP16, 1391, 8052, 3626)
+	set(dict.FCInline, 159, 1357, 116)
+	set(dict.ColumnBC, 278, 4056, 471)
+	return &t
+}

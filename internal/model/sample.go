@@ -1,0 +1,163 @@
+// Package model implements the prediction framework of Section 4: for every
+// dictionary format it estimates the size the dictionary would have on a
+// given column from a small uniform sample, and it models the runtime of the
+// extract, locate and construct operations as per-call constants determined
+// by microbenchmarks.
+//
+// The size models follow the paper's Table 1: they break each format's size
+// down to properties of the data (distinct characters, order-0 entropy,
+// n-gram coverage, Re-Pair compression rate, maximum string length, average
+// block size) that are cheap to sample, extended by the paper-suggested
+// corrections for byte-alignment cut-offs so that a 100% "sample" predicts
+// the real size almost exactly.
+package model
+
+import (
+	"math/rand"
+
+	"strdict/internal/dict"
+)
+
+// MinSampleStrings is the sampling floor of Section 4.2.2: tiny dictionaries
+// are sampled entirely, fixing the extreme mispredictions the paper reports
+// for 1% samples of very small dictionaries.
+const MinSampleStrings = 5000
+
+// Sample carries everything the size models need about a column.
+type Sample struct {
+	// Exact properties, known a priori from the dictionary input.
+	N        int    // number of strings
+	RawChars uint64 // sum of all string lengths
+
+	// Sampled strings (uniform, without replacement, sorted by position).
+	Strings []string
+
+	// Sampled aligned front-coding and column-bc blocks.
+	FCBlocks  [][]string
+	ColBlocks [][]string
+
+	// Block geometry used when sampling, mirrored from package dict.
+	FCBlockSize  int
+	ColBlockSize int
+}
+
+// TakeSample draws a uniform sample of about ratio*len(strs) strings, but at
+// least min(MinSampleStrings, len(strs)), plus proportionally many aligned
+// blocks for the block-based formats. strs must be the sorted dictionary
+// input. The same seed yields the same sample.
+func TakeSample(strs []string, ratio float64, seed int64) *Sample {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(strs)
+	s := &Sample{
+		N:            n,
+		RawChars:     dict.RawBytes(strs),
+		FCBlockSize:  dict.DefaultFCBlockSize,
+		ColBlockSize: dict.DefaultColumnBCBlockSize,
+	}
+
+	want := int(ratio * float64(n))
+	if want < MinSampleStrings {
+		want = MinSampleStrings
+	}
+	if want >= n {
+		s.Strings = strs
+	} else {
+		s.Strings = make([]string, 0, want)
+		for _, idx := range sampleIndices(rng, n, want) {
+			s.Strings = append(s.Strings, strs[idx])
+		}
+	}
+
+	s.FCBlocks = sampleBlocks(rng, strs, s.FCBlockSize, want)
+	s.ColBlocks = sampleBlocks(rng, strs, s.ColBlockSize, want)
+	return s
+}
+
+// sampleIndices draws k distinct indices from [0,n) in ascending order.
+func sampleIndices(rng *rand.Rand, n, k int) []int {
+	// Floyd's algorithm would avoid the map, but k is small; keep it simple
+	// with a selection-sampling pass, which also yields sorted output.
+	out := make([]int, 0, k)
+	remaining := n
+	needed := k
+	for i := 0; i < n && needed > 0; i++ {
+		if rng.Intn(remaining) < needed {
+			out = append(out, i)
+			needed--
+		}
+		remaining--
+	}
+	return out
+}
+
+// sampleBlocks draws aligned blocks totalling about wantStrings strings.
+func sampleBlocks(rng *rand.Rand, strs []string, blockSize, wantStrings int) [][]string {
+	n := len(strs)
+	if n == 0 {
+		return nil
+	}
+	nblocks := (n + blockSize - 1) / blockSize
+	wantBlocks := (wantStrings + blockSize - 1) / blockSize
+	if wantBlocks < 1 {
+		wantBlocks = 1
+	}
+	var blockIdx []int
+	if wantBlocks >= nblocks {
+		blockIdx = make([]int, nblocks)
+		for i := range blockIdx {
+			blockIdx[i] = i
+		}
+	} else {
+		blockIdx = sampleIndices(rng, nblocks, wantBlocks)
+	}
+	out := make([][]string, 0, len(blockIdx))
+	for _, b := range blockIdx {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		out = append(out, strs[lo:hi])
+	}
+	return out
+}
+
+// sampleChars returns the summed length of the sampled strings.
+func (s *Sample) sampleChars() uint64 {
+	var c uint64
+	for _, str := range s.Strings {
+		c += uint64(len(str))
+	}
+	return c
+}
+
+// parts converts the sampled strings to byte slices for codec training.
+func (s *Sample) parts() [][]byte {
+	parts := make([][]byte, len(s.Strings))
+	for i, str := range s.Strings {
+		parts[i] = []byte(str)
+	}
+	return parts
+}
+
+// fcParts returns the stored parts (block-first strings and suffixes) of the
+// sampled blocks, in layout order, for the given front-coding mode.
+// toFirst selects difference-to-first (fc block df) prefixes.
+func (s *Sample) fcParts(toFirst bool) [][]byte {
+	var parts [][]byte
+	for _, block := range s.FCBlocks {
+		if len(block) == 0 {
+			continue
+		}
+		parts = append(parts, []byte(block[0]))
+		for i := 1; i < len(block); i++ {
+			ref := block[i-1]
+			if toFirst {
+				ref = block[0]
+			}
+			pl := dict.CommonPrefixLen(ref, block[i])
+			parts = append(parts, []byte(block[i][pl:]))
+		}
+	}
+	return parts
+}

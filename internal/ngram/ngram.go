@@ -1,0 +1,178 @@
+// Package ngram implements the fixed-length 12-bit n-gram compression scheme
+// of the paper (`ng2` for 2-grams, `ng3` for 3-grams).
+//
+// The 2^12 code space is split into 256 single-character backup codes, one
+// end-of-string code, and the 3839 most frequent n-grams of the training
+// corpus. Encoding scans left to right and emits an n-gram code when the
+// next n characters form a frequent gram, otherwise a backup code for one
+// character. The scheme does not preserve order (a frequent gram can start
+// below a character that follows it in a competing string), so locate falls
+// back to extraction-based search.
+package ngram
+
+import (
+	"fmt"
+	"sort"
+
+	"strdict/internal/bits"
+)
+
+// CodeBits is the fixed code width.
+const CodeBits = 12
+
+// eosCode terminates every encoded string. Codes 0-255 are character backup
+// codes; gram codes start at 257.
+const eosCode = 256
+
+// MaxGrams is the number of n-gram codes available (2^12 - 256 backup - EOS).
+const MaxGrams = (1 << CodeBits) - 257
+
+// Codec holds a trained n-gram table.
+type Codec struct {
+	n      int
+	gramOf map[string]uint16 // gram -> code (>= 257)
+	grams  []string          // grams[code-257] = gram
+}
+
+// Train builds a codec collecting the most frequent n-grams (overlapping
+// occurrences) of the corpus parts.
+func Train(n int, parts [][]byte) *Codec {
+	if n < 2 {
+		panic("ngram: n must be at least 2")
+	}
+	counts := make(map[string]uint64)
+	for _, p := range parts {
+		for i := 0; i+n <= len(p); i++ {
+			counts[string(p[i:i+n])]++
+		}
+	}
+	type gc struct {
+		g string
+		c uint64
+	}
+	all := make([]gc, 0, len(counts))
+	for g, c := range counts {
+		all = append(all, gc{g, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].g < all[j].g // deterministic
+	})
+	if len(all) > MaxGrams {
+		all = all[:MaxGrams]
+	}
+	c := &Codec{n: n, gramOf: make(map[string]uint16, len(all))}
+	for _, e := range all {
+		c.grams = append(c.grams, e.g)
+		c.gramOf[e.g] = uint16(len(c.grams) - 1 + 257)
+	}
+	return c
+}
+
+// N returns the gram length.
+func (c *Codec) N() int { return c.n }
+
+// GramCount returns how many grams hold proper codes.
+func (c *Codec) GramCount() int { return len(c.grams) }
+
+// Encode appends the byte-aligned encoded form of src (EOS-terminated) to dst.
+func (c *Codec) Encode(dst []byte, src []byte) []byte {
+	var w bits.Writer
+	c.EncodeTo(&w, src)
+	w.Align()
+	return append(dst, w.Bytes()...)
+}
+
+// EncodeTo writes the unaligned code sequence for src followed by EOS.
+func (c *Codec) EncodeTo(w *bits.Writer, src []byte) {
+	for i := 0; i < len(src); {
+		if i+c.n <= len(src) {
+			if code, ok := c.gramOf[string(src[i:i+c.n])]; ok {
+				w.WriteBits(uint64(code), CodeBits)
+				i += c.n
+				continue
+			}
+		}
+		w.WriteBits(uint64(src[i]), CodeBits)
+		i++
+	}
+	w.WriteBits(eosCode, CodeBits)
+}
+
+// Decode appends the decoded string to dst, reading codes until EOS.
+func (c *Codec) Decode(dst []byte, enc []byte) []byte {
+	return c.DecodeFrom(dst, bits.NewReader(enc))
+}
+
+// DecodeFrom decodes one EOS-terminated string from r, appending to dst.
+func (c *Codec) DecodeFrom(dst []byte, r *bits.Reader) []byte {
+	for {
+		code := r.ReadBits(CodeBits)
+		switch {
+		case code < 256:
+			dst = append(dst, byte(code))
+		case code == eosCode, int(code-257) >= len(c.grams):
+			// EOS, or a gram code beyond the table (corrupt stream):
+			// terminate defensively.
+			return dst
+		default:
+			dst = append(dst, c.grams[code-257]...)
+		}
+	}
+}
+
+// TableBytes reports the in-memory footprint of the codec's tables: the gram
+// strings plus per-gram bookkeeping (string header + hash entry).
+func (c *Codec) TableBytes() uint64 {
+	var b uint64
+	for _, g := range c.grams {
+		b += uint64(len(g)) + 16 + 8 // payload + string header + map slot
+	}
+	return b + 8
+}
+
+// Name identifies the scheme.
+func (c *Codec) Name() string {
+	if c.n == 2 {
+		return "ng2"
+	}
+	if c.n == 3 {
+		return "ng3"
+	}
+	return "ng"
+}
+
+// HasGram reports whether g holds a proper 12-bit code.
+func (c *Codec) HasGram(g string) bool {
+	_, ok := c.gramOf[g]
+	return ok
+}
+
+// Grams returns the gram table in code order, the codec's serialized form.
+func (c *Codec) Grams() []string {
+	return append([]string(nil), c.grams...)
+}
+
+// FromGrams rebuilds a codec from a serialized gram table.
+func FromGrams(n int, grams []string) (*Codec, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("ngram: n must be at least 2")
+	}
+	if len(grams) > MaxGrams {
+		return nil, fmt.Errorf("ngram: %d grams exceed the %d-code budget", len(grams), MaxGrams)
+	}
+	c := &Codec{n: n, gramOf: make(map[string]uint16, len(grams))}
+	for _, g := range grams {
+		if len(g) != n {
+			return nil, fmt.Errorf("ngram: gram %q has length %d, want %d", g, len(g), n)
+		}
+		if _, dup := c.gramOf[g]; dup {
+			return nil, fmt.Errorf("ngram: duplicate gram %q", g)
+		}
+		c.grams = append(c.grams, g)
+		c.gramOf[g] = uint16(len(c.grams) - 1 + 257)
+	}
+	return c, nil
+}

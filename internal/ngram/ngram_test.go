@@ -1,0 +1,112 @@
+package ngram
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip2gram(t *testing.T) {
+	parts := [][]byte{
+		[]byte("the theme of the thesis"),
+		[]byte("there and then"),
+		nil,
+	}
+	c := Train(2, parts)
+	for _, p := range parts {
+		enc := c.Encode(nil, p)
+		if dec := c.Decode(nil, enc); !bytes.Equal(dec, p) {
+			t.Errorf("round trip %q -> %q", p, dec)
+		}
+	}
+}
+
+func TestRoundTrip3gram(t *testing.T) {
+	parts := [][]byte{[]byte("abcabcabcabc"), []byte("xyzxyz")}
+	c := Train(3, parts)
+	for _, p := range parts {
+		enc := c.Encode(nil, p)
+		if dec := c.Decode(nil, enc); !bytes.Equal(dec, p) {
+			t.Errorf("round trip %q -> %q", p, dec)
+		}
+	}
+}
+
+func TestCoveredTextCompresses(t *testing.T) {
+	// Text of a tiny gram vocabulary: every 2-gram gets a proper code, so the
+	// encoding uses 12 bits per 2 chars = 0.75 bytes/char.
+	text := []byte(strings.Repeat("abab", 500))
+	c := Train(2, [][]byte{text})
+	enc := c.Encode(nil, text)
+	want := (len(text)/2 + 1) * 12 / 8 // codes + EOS, bytes (rounded down ok)
+	if len(enc) > want+2 {
+		t.Fatalf("encoded %d bytes, want about %d", len(enc), want)
+	}
+}
+
+func TestUncoveredTextExpands(t *testing.T) {
+	// Random text over the full byte alphabet: with a corpus much larger than
+	// the 3839-gram budget, the proper codes cover only a small share of the
+	// positions, so most codes are 12-bit backups for single chars ->
+	// negative compression, as the paper reports for the rand data sets.
+	rng := rand.New(rand.NewSource(4))
+	train := make([]byte, 1<<18)
+	rng.Read(train)
+	c := Train(2, [][]byte{train})
+	text := make([]byte, 4096)
+	rng.Read(text)
+	enc := c.Encode(nil, text)
+	if len(enc) <= len(text) {
+		t.Fatalf("expected expansion on random text: %d <= %d", len(enc), len(text))
+	}
+}
+
+func TestGramCapRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	text := make([]byte, 1<<16)
+	rng.Read(text)
+	c := Train(2, [][]byte{text})
+	if c.GramCount() > MaxGrams {
+		t.Fatalf("gram count %d exceeds cap %d", c.GramCount(), MaxGrams)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	train := make([]byte, 8192)
+	rng.Read(train)
+	c := Train(3, [][]byte{train})
+	f := func(s []byte) bool {
+		return bytes.Equal(c.Decode(nil, c.Encode(nil, s)), s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	parts := [][]byte{[]byte("banana bandana cabana")}
+	a, b := Train(2, parts), Train(2, parts)
+	if a.GramCount() != b.GramCount() {
+		t.Fatal("training is not deterministic")
+	}
+	for i := range a.grams {
+		if a.grams[i] != b.grams[i] {
+			t.Fatalf("gram order differs at %d: %q vs %q", i, a.grams[i], b.grams[i])
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	text := []byte("http://example.com/catalog/items?id=12345&sort=asc")
+	c := Train(2, [][]byte{text})
+	enc := c.Encode(nil, text)
+	buf := make([]byte, 0, len(text))
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Decode(buf[:0], enc)
+	}
+}

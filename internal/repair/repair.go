@@ -1,0 +1,396 @@
+// Package repair implements Re-Pair grammar compression (Larsson & Moffat,
+// DCC 1999): the most frequent adjacent symbol pair is repeatedly replaced
+// by a fresh non-terminal until no pair occurs at least twice or the symbol
+// space is exhausted.
+//
+// It realizes the paper's `rp 12` and `rp 16` string compression schemes:
+// symbols are stored with 12 or 16 fixed bits, terminals are the 256 byte
+// values, symbol 256 is a reserved end-of-string marker and non-terminals
+// start at 257 (so a 12-bit grammar holds up to 3839 rules).
+//
+// The grammar is trained once over the whole dictionary (string boundaries
+// are separated by sentinels that pairs can never cross) and each string
+// keeps its own compressed symbol sequence, so a single string can be
+// extracted without touching its neighbours — a stated requirement of the
+// paper's dictionary formats.
+package repair
+
+import (
+	"container/heap"
+	"fmt"
+
+	"strdict/internal/bits"
+)
+
+// EOS is the reserved end-of-string symbol.
+const EOS = 256
+
+// firstRuleSym is the symbol number of the first grammar rule.
+const firstRuleSym = 257
+
+// Rule expands a non-terminal into its two child symbols.
+type Rule struct {
+	Left, Right int32
+}
+
+// Grammar is a trained Re-Pair grammar.
+type Grammar struct {
+	symbolBits uint
+	rules      []Rule
+}
+
+// SymbolBits returns the fixed symbol width (12 or 16).
+func (g *Grammar) SymbolBits() uint { return g.symbolBits }
+
+// RuleCount returns the number of rules in the grammar.
+func (g *Grammar) RuleCount() int { return len(g.rules) }
+
+// MaxRules returns the rule capacity for a symbol width.
+func MaxRules(symbolBits uint) int {
+	return (1 << symbolBits) - firstRuleSym
+}
+
+// Train builds a grammar over the given parts and returns it together with
+// the compressed symbol sequence of every part. symbolBits must be 12 or 16.
+func Train(parts [][]byte, symbolBits uint) (*Grammar, [][]int32) {
+	if symbolBits != 12 && symbolBits != 16 {
+		panic("repair: symbolBits must be 12 or 16")
+	}
+	tr := newTrainer(parts, symbolBits)
+	tr.run()
+	return &Grammar{symbolBits: symbolBits, rules: tr.rules}, tr.sequences(len(parts))
+}
+
+const (
+	sep  = int32(-1) // string boundary sentinel
+	hole = int32(-2) // removed position
+	none = int32(-3) // list terminator
+)
+
+// pairRec tracks the occurrences of one active pair.
+type pairRec struct {
+	key     uint64
+	count   int32
+	head    int32 // first occurrence position (position of the left symbol)
+	heapIdx int
+}
+
+type recHeap []*pairRec
+
+func (h recHeap) Len() int            { return len(h) }
+func (h recHeap) Less(i, j int) bool  { return h[i].count > h[j].count }
+func (h recHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *recHeap) Push(x interface{}) { r := x.(*pairRec); r.heapIdx = len(*h); *h = append(*h, r) }
+func (h *recHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+type trainer struct {
+	seq        []int32
+	next, prev []int32 // active doubly-linked list over positions
+	nextOcc    []int32 // occurrence-list threading, keyed by position
+	prevOcc    []int32
+	recs       map[uint64]*pairRec
+	pq         recHeap
+	rules      []Rule
+	maxSym     int32
+}
+
+func pairKey(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func newTrainer(parts [][]byte, symbolBits uint) *trainer {
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 1 // +1 separator after each part
+	}
+	tr := &trainer{
+		seq:     make([]int32, 0, n),
+		recs:    make(map[uint64]*pairRec),
+		maxSym:  int32(1<<symbolBits) - 1,
+		nextOcc: make([]int32, n),
+		prevOcc: make([]int32, n),
+	}
+	for _, p := range parts {
+		for _, b := range p {
+			tr.seq = append(tr.seq, int32(b))
+		}
+		tr.seq = append(tr.seq, sep)
+	}
+	m := len(tr.seq)
+	tr.next = make([]int32, m)
+	tr.prev = make([]int32, m)
+	for i := 0; i < m; i++ {
+		tr.next[i] = int32(i + 1)
+		tr.prev[i] = int32(i - 1)
+		tr.nextOcc[i] = none
+		tr.prevOcc[i] = none
+	}
+	if m > 0 {
+		tr.next[m-1] = none
+	}
+	// Register every adjacent pair not involving a separator.
+	for i := 0; i+1 < m; i++ {
+		tr.addOcc(int32(i))
+	}
+	heap.Init(&tr.pq)
+	return tr
+}
+
+// registered reports whether position p currently heads a trackable pair.
+func (tr *trainer) registered(p int32) bool {
+	if p < 0 || tr.seq[p] < 0 {
+		return false
+	}
+	q := tr.next[p]
+	return q >= 0 && tr.seq[q] >= 0
+}
+
+// addOcc registers the pair starting at position p, if trackable.
+func (tr *trainer) addOcc(p int32) {
+	if !tr.registered(p) {
+		return
+	}
+	q := tr.next[p]
+	key := pairKey(tr.seq[p], tr.seq[q])
+	rec := tr.recs[key]
+	if rec == nil {
+		rec = &pairRec{key: key, head: none}
+		tr.recs[key] = rec
+		heap.Push(&tr.pq, rec)
+	}
+	// Push-front onto the occurrence list.
+	tr.nextOcc[p] = rec.head
+	tr.prevOcc[p] = none
+	if rec.head != none {
+		tr.prevOcc[rec.head] = p
+	}
+	rec.head = p
+	rec.count++
+	heap.Fix(&tr.pq, rec.heapIdx)
+}
+
+// removeOcc unregisters the pair currently starting at position p.
+// It must be called before the symbols at p or next[p] are mutated.
+func (tr *trainer) removeOcc(p int32) {
+	if !tr.registered(p) {
+		return
+	}
+	q := tr.next[p]
+	key := pairKey(tr.seq[p], tr.seq[q])
+	rec := tr.recs[key]
+	if rec == nil {
+		return
+	}
+	if tr.prevOcc[p] != none {
+		tr.nextOcc[tr.prevOcc[p]] = tr.nextOcc[p]
+	} else if rec.head == p {
+		rec.head = tr.nextOcc[p]
+	} else {
+		return // p was not on this list (defensive; should not happen)
+	}
+	if tr.nextOcc[p] != none {
+		tr.prevOcc[tr.nextOcc[p]] = tr.prevOcc[p]
+	}
+	tr.nextOcc[p] = none
+	tr.prevOcc[p] = none
+	rec.count--
+	heap.Fix(&tr.pq, rec.heapIdx)
+}
+
+func (tr *trainer) run() {
+	nextSym := int32(firstRuleSym)
+	for len(tr.pq) > 0 && nextSym <= tr.maxSym {
+		top := tr.pq[0]
+		if top.count < 2 {
+			break
+		}
+		a := int32(uint32(top.key >> 32))
+		b := int32(uint32(top.key))
+		tr.rules = append(tr.rules, Rule{Left: a, Right: b})
+		newSym := nextSym
+		nextSym++
+		for top.count > 0 {
+			tr.replaceAt(top.head, newSym)
+		}
+		// Drop the exhausted record.
+		heap.Remove(&tr.pq, top.heapIdx)
+		delete(tr.recs, top.key)
+	}
+}
+
+// replaceAt rewrites the pair starting at position p with newSym, keeping
+// all occurrence lists consistent.
+func (tr *trainer) replaceAt(p, newSym int32) {
+	q := tr.next[p]
+	lp := tr.prev[p]
+	r := tr.next[q]
+
+	// Unregister the three pairs whose symbols are about to change:
+	// (left-neighbour, a), (a, b) itself, and (b, right-neighbour).
+	tr.removeOcc(p)
+	if lp != none {
+		tr.removeOcc(lp)
+	}
+	tr.removeOcc(q)
+
+	tr.seq[p] = newSym
+	tr.seq[q] = hole
+	tr.next[p] = r
+	if r != none {
+		tr.prev[r] = p
+	}
+
+	// Register the pairs formed with the new symbol.
+	if lp != none {
+		tr.addOcc(lp)
+	}
+	tr.addOcc(p)
+}
+
+// sequences extracts the per-part compressed symbol sequences by walking the
+// active list and splitting at separators.
+func (tr *trainer) sequences(nParts int) [][]int32 {
+	out := make([][]int32, 0, nParts)
+	var cur []int32
+	for i := 0; i < len(tr.seq); i++ {
+		s := tr.seq[i]
+		switch {
+		case s == hole:
+			// skip
+		case s == sep:
+			out = append(out, cur)
+			cur = nil
+		default:
+			cur = append(cur, s)
+		}
+	}
+	return out
+}
+
+// EncodeSeq appends the byte-aligned fixed-width encoding of a symbol
+// sequence (EOS-terminated) to dst.
+func (g *Grammar) EncodeSeq(dst []byte, seq []int32) []byte {
+	var w bits.Writer
+	for _, s := range seq {
+		w.WriteBits(uint64(uint32(s)), g.symbolBits)
+	}
+	w.WriteBits(EOS, g.symbolBits)
+	w.Align()
+	return append(dst, w.Bytes()...)
+}
+
+// Expand appends the terminal expansion of sym to dst.
+func (g *Grammar) Expand(dst []byte, sym int32) []byte {
+	if sym < 256 {
+		return append(dst, byte(sym))
+	}
+	// Iterative expansion with an explicit stack; right children are pushed
+	// so terminals come out left to right.
+	stack := make([]int32, 0, 32)
+	stack = append(stack, sym)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s >= firstRuleSym {
+			rule := g.rules[s-firstRuleSym]
+			stack = append(stack, rule.Right)
+			s = rule.Left
+		}
+		if s == EOS {
+			continue
+		}
+		dst = append(dst, byte(s))
+	}
+	return dst
+}
+
+// Decode appends the decoded string to dst, reading fixed-width symbols
+// until EOS.
+func (g *Grammar) Decode(dst []byte, enc []byte) []byte {
+	return g.DecodeFrom(dst, bits.NewReader(enc))
+}
+
+// DecodeFrom decodes one EOS-terminated string from r, appending to dst.
+func (g *Grammar) DecodeFrom(dst []byte, r *bits.Reader) []byte {
+	limit := int32(firstRuleSym + len(g.rules))
+	for {
+		s := int32(r.ReadBits(g.symbolBits))
+		// EOS, or a symbol beyond the rule table (corrupt stream):
+		// terminate defensively.
+		if s == EOS || s >= limit {
+			return dst
+		}
+		dst = g.Expand(dst, s)
+	}
+}
+
+// Encode compresses an arbitrary string with the trained grammar by applying
+// the rules in creation order. The parse can differ from the training parse
+// for strings of the corpus, but it always round-trips through Decode. This
+// is a convenience for tests and ad-hoc probes; dictionary construction uses
+// the training sequences from Train directly.
+func (g *Grammar) Encode(dst []byte, src []byte) []byte {
+	seq := make([]int32, len(src))
+	for i, b := range src {
+		seq[i] = int32(b)
+	}
+	for ri, rule := range g.rules {
+		sym := int32(firstRuleSym + ri)
+		out := seq[:0]
+		for i := 0; i < len(seq); i++ {
+			if i+1 < len(seq) && seq[i] == rule.Left && seq[i+1] == rule.Right {
+				out = append(out, sym)
+				i++
+			} else {
+				out = append(out, seq[i])
+			}
+		}
+		seq = out
+	}
+	return g.EncodeSeq(dst, seq)
+}
+
+// TableBytes reports the in-memory footprint of the rule table.
+func (g *Grammar) TableBytes() uint64 {
+	return uint64(len(g.rules))*8 + 8
+}
+
+// Name identifies the scheme.
+func (g *Grammar) Name() string {
+	if g.symbolBits == 12 {
+		return "rp12"
+	}
+	return "rp16"
+}
+
+// Rules returns the grammar's rule table, its serialized form.
+func (g *Grammar) Rules() []Rule {
+	return append([]Rule(nil), g.rules...)
+}
+
+// FromRules rebuilds a grammar from a serialized rule table, validating
+// that every rule only references terminals or earlier rules (so expansion
+// always terminates) and that the symbol space fits the width.
+func FromRules(symbolBits uint, rules []Rule) (*Grammar, error) {
+	if symbolBits != 12 && symbolBits != 16 {
+		return nil, fmt.Errorf("repair: symbolBits must be 12 or 16")
+	}
+	if len(rules) > MaxRules(symbolBits) {
+		return nil, fmt.Errorf("repair: %d rules exceed the %d-bit symbol space", len(rules), symbolBits)
+	}
+	for i, r := range rules {
+		limit := int32(firstRuleSym + i)
+		for _, child := range []int32{r.Left, r.Right} {
+			if child < 0 || child == EOS || child >= limit {
+				return nil, fmt.Errorf("repair: rule %d has invalid child %d", i, child)
+			}
+		}
+	}
+	return &Grammar{symbolBits: symbolBits, rules: append([]Rule(nil), rules...)}, nil
+}

@@ -1,0 +1,141 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness needs: quantiles, box-plot summaries (matching the R/PGFPlots
+// defaults the paper uses in Figure 6), and order-0 entropy.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using linear
+// interpolation between order statistics (R type 7, the R default).
+// It sorts a copy; values itself is left untouched.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(values []float64) float64 { return Quantile(values, 0.5) }
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// BoxPlot summarizes a distribution the way R and PGFPlots draw box plots by
+// default: the box spans the quartiles, whiskers extend to the most extreme
+// datum within 1.5 IQR of the box, everything beyond is an outlier.
+type BoxPlot struct {
+	LowWhisker  float64
+	Q1          float64
+	Median      float64
+	Q3          float64
+	HighWhisker float64
+	Outliers    []float64
+	N           int
+}
+
+// Summarize computes the box-plot statistics of values.
+func Summarize(values []float64) BoxPlot {
+	bp := BoxPlot{N: len(values)}
+	if len(values) == 0 {
+		bp.LowWhisker, bp.Q1, bp.Median, bp.Q3, bp.HighWhisker =
+			math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return bp
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	bp.Q1 = quantileSorted(s, 0.25)
+	bp.Median = quantileSorted(s, 0.5)
+	bp.Q3 = quantileSorted(s, 0.75)
+	iqr := bp.Q3 - bp.Q1
+	loFence := bp.Q1 - 1.5*iqr
+	hiFence := bp.Q3 + 1.5*iqr
+	// Whiskers are the most extreme in-fence data; the rest are outliers.
+	bp.LowWhisker = math.NaN()
+	bp.HighWhisker = math.NaN()
+	for _, v := range s {
+		if v < loFence || v > hiFence {
+			bp.Outliers = append(bp.Outliers, v)
+			continue
+		}
+		if math.IsNaN(bp.LowWhisker) {
+			bp.LowWhisker = v
+		}
+		bp.HighWhisker = v
+	}
+	return bp
+}
+
+// Entropy0 returns the order-0 entropy, in bits per byte, of the byte
+// distribution of the given corpus parts.
+func Entropy0(parts [][]byte) float64 {
+	var freq [256]uint64
+	var total uint64
+	for _, p := range parts {
+		for _, b := range p {
+			freq[b]++
+		}
+		total += uint64(len(p))
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, f := range freq {
+		if f == 0 {
+			continue
+		}
+		p := float64(f) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Percentile groups for cumulative-distribution prints (Figures 1 and 2).
+// Buckets splits values into decade buckets by size: [1,10), [10,100), ...
+// and returns counts per decade starting at 10^0.
+func Buckets(values []int) []int {
+	var out []int
+	for _, v := range values {
+		d := 0
+		for x := v; x >= 10; x /= 10 {
+			d++
+		}
+		for len(out) <= d {
+			out = append(out, 0)
+		}
+		out[d]++
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Quantile(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestMedianMean(t *testing.T) {
+	if Median([]float64{1, 3, 2}) != 2 {
+		t.Error("median")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// 1..9 with one extreme outlier.
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	bp := Summarize(v)
+	if bp.Median != 5.5 {
+		t.Errorf("median %g", bp.Median)
+	}
+	if len(bp.Outliers) != 1 || bp.Outliers[0] != 100 {
+		t.Errorf("outliers %v", bp.Outliers)
+	}
+	if bp.HighWhisker != 9 || bp.LowWhisker != 1 {
+		t.Errorf("whiskers %g %g", bp.LowWhisker, bp.HighWhisker)
+	}
+}
+
+func TestSummarizeQuickInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		bp := Summarize(clean)
+		// Quartiles are ordered; whiskers are real data points and ordered.
+		// (A whisker may cross an interpolated quartile when a whole tail is
+		// outliers, so we do not require LowWhisker <= Q1.)
+		return bp.Q1 <= bp.Median && bp.Median <= bp.Q3 &&
+			bp.LowWhisker <= bp.HighWhisker &&
+			len(bp.Outliers)+1 <= bp.N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropy0(t *testing.T) {
+	// Uniform over 4 symbols -> exactly 2 bits.
+	h := Entropy0([][]byte{[]byte("abcd")})
+	if math.Abs(h-2) > 1e-9 {
+		t.Errorf("entropy %g, want 2", h)
+	}
+	// Single symbol -> 0 bits.
+	if h := Entropy0([][]byte{[]byte("aaaa")}); h != 0 {
+		t.Errorf("entropy %g, want 0", h)
+	}
+	if h := Entropy0(nil); h != 0 {
+		t.Errorf("empty entropy %g", h)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	got := Buckets([]int{1, 5, 9, 10, 99, 100, 101, 5000})
+	want := []int{3, 2, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

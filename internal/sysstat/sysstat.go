@@ -1,0 +1,165 @@
+// Package sysstat synthesizes the system catalogs behind the paper's
+// motivation (Section 1, Figures 1 and 2): the distribution of string-column
+// dictionary sizes in two ERP systems and one BW system.
+//
+// The real catalogs are proprietary SAP customer systems. The paper however
+// states their governing law precisely: "for every order of magnitude of
+// smaller size, there is half an order of magnitude less dictionaries of
+// that size" — dictionary entry counts follow a Zipf-like decade
+// distribution with P(decade d) ∝ 10^(-d/2). Memory per dictionary grows
+// linearly with its entry count, so the handful of huge dictionaries
+// dominating total memory (87% in >10^5-entry dictionaries for ERP System 1)
+// is an emergent property of that law, which the figures regenerated here
+// reproduce.
+package sysstat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Column describes one string column of a catalog.
+type Column struct {
+	// Distinct is the number of dictionary entries.
+	Distinct int
+	// AvgLen is the average string length of the column's values.
+	AvgLen float64
+}
+
+// System is a synthetic catalog of string columns.
+type System struct {
+	Name        string
+	StringShare float64 // fraction of all columns that are strings
+	Columns     []Column
+}
+
+// Profiles for the three systems of the paper. MaxDecade bounds the largest
+// dictionaries (the BW system has fewer huge dictionaries, ERP System 2 the
+// most extreme skew).
+type profile struct {
+	nColumns    int
+	stringShare float64
+	maxDecade   int
+	decayPer10  float64 // dictionaries per decade decay factor
+}
+
+var profiles = map[string]profile{
+	// 73% / 77% / 54% string shares from Section 1.
+	"ERP System 1": {nColumns: 90_000, stringShare: 0.73, maxDecade: 6, decayPer10: math.Sqrt(10)},
+	"ERP System 2": {nColumns: 200_000, stringShare: 0.77, maxDecade: 7, decayPer10: math.Sqrt(10) * 1.25},
+	"BW System":    {nColumns: 30_000, stringShare: 0.54, maxDecade: 6, decayPer10: math.Sqrt(10) * 0.8},
+}
+
+// Names lists the systems in the paper's order.
+func Names() []string {
+	return []string{"ERP System 1", "ERP System 2", "BW System"}
+}
+
+// Generate synthesizes the named system's string-column catalog.
+func Generate(name string, seed int64) *System {
+	p, ok := profiles[name]
+	if !ok {
+		panic("sysstat: unknown system " + name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nStrings := int(float64(p.nColumns) * p.stringShare)
+
+	// Decade weights: w_d ∝ decay^-d for d = 0..maxDecade.
+	weights := make([]float64, p.maxDecade+1)
+	var total float64
+	for d := range weights {
+		weights[d] = math.Pow(p.decayPer10, -float64(d))
+		total += weights[d]
+	}
+
+	s := &System{Name: name, StringShare: p.stringShare}
+	for i := 0; i < nStrings; i++ {
+		d := pickDecade(rng, weights, total)
+		// Log-uniform within the decade.
+		lo := math.Pow(10, float64(d))
+		distinct := int(lo * math.Pow(10, rng.Float64()))
+		if distinct < 1 {
+			distinct = 1
+		}
+		// String lengths by column class: most business strings are short
+		// codes; big dictionaries skew towards free text and identifiers.
+		avgLen := 6 + rng.Float64()*14
+		if d >= 4 && rng.Float64() < 0.4 {
+			avgLen = 20 + rng.Float64()*40 // UUIDs, URLs, text
+		}
+		s.Columns = append(s.Columns, Column{Distinct: distinct, AvgLen: avgLen})
+	}
+	return s
+}
+
+func pickDecade(rng *rand.Rand, weights []float64, total float64) int {
+	x := rng.Float64() * total
+	for d, w := range weights {
+		if x < w {
+			return d
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// DictBytes estimates a column's dictionary memory with the plain array
+// format of a domain-encoded column store: the string data plus an 8-byte
+// pointer per entry (the paper's Figure 2 measures the default,
+// uncompressed representation).
+func (c Column) DictBytes() uint64 {
+	return uint64(float64(c.Distinct)*c.AvgLen) + uint64(c.Distinct)*8
+}
+
+// DecadeShares returns, per dictionary-size decade (10^0.., 10^1.., ...),
+// the share of columns (Figure 1) and the share of total dictionary memory
+// (Figure 2).
+func (s *System) DecadeShares() (columns []float64, memory []float64) {
+	var counts []int
+	var mem []uint64
+	for _, c := range s.Columns {
+		d := 0
+		for x := c.Distinct; x >= 10; x /= 10 {
+			d++
+		}
+		for len(counts) <= d {
+			counts = append(counts, 0)
+			mem = append(mem, 0)
+		}
+		counts[d]++
+		mem[d] += c.DictBytes()
+	}
+	var totalC, totalM float64
+	for i := range counts {
+		totalC += float64(counts[i])
+		totalM += float64(mem[i])
+	}
+	columns = make([]float64, len(counts))
+	memory = make([]float64, len(counts))
+	for i := range counts {
+		columns[i] = float64(counts[i]) / totalC
+		memory[i] = float64(mem[i]) / totalM
+	}
+	return columns, memory
+}
+
+// LargeDictMemoryShare returns the share of dictionary memory consumed by
+// dictionaries with more than minEntries entries, and the share of columns
+// they represent — the headline skew statistic of Section 1.
+func (s *System) LargeDictMemoryShare(minEntries int) (memShare, colShare float64) {
+	var mem, total float64
+	var n, nTotal int
+	for _, c := range s.Columns {
+		b := float64(c.DictBytes())
+		total += b
+		nTotal++
+		if c.Distinct > minEntries {
+			mem += b
+			n++
+		}
+	}
+	if total == 0 || nTotal == 0 {
+		return 0, 0
+	}
+	return mem / total, float64(n) / float64(nTotal)
+}

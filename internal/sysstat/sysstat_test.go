@@ -1,0 +1,87 @@
+package sysstat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateAllSystems(t *testing.T) {
+	for _, name := range Names() {
+		s := Generate(name, 1)
+		if len(s.Columns) == 0 {
+			t.Fatalf("%s: empty catalog", name)
+		}
+		for _, c := range s.Columns {
+			if c.Distinct < 1 || c.AvgLen <= 0 {
+				t.Fatalf("%s: invalid column %+v", name, c)
+			}
+		}
+	}
+}
+
+func TestZipfLaw(t *testing.T) {
+	// "For every order of magnitude of smaller size, half an order of
+	// magnitude less dictionaries": consecutive decade column shares should
+	// decay by roughly sqrt(10) ~ 3.16.
+	s := Generate("ERP System 1", 42)
+	cols, _ := s.DecadeShares()
+	for d := 0; d+1 < len(cols)-1; d++ { // skip the noisy top decade
+		if cols[d+1] == 0 {
+			continue
+		}
+		ratio := cols[d] / cols[d+1]
+		if ratio < 2 || ratio > 5 {
+			t.Errorf("decade %d->%d column ratio %.2f, want ~3.16", d, d+1, ratio)
+		}
+	}
+}
+
+func TestMemoryDominatedByLargeDicts(t *testing.T) {
+	// Section 1: in ERP System 1, ~87% of dictionary memory sits in
+	// dictionaries with more than 1e5 entries, which are ~0.1% of columns.
+	s := Generate("ERP System 1", 42)
+	memShare, colShare := s.LargeDictMemoryShare(100_000)
+	if memShare < 0.6 {
+		t.Errorf("large-dict memory share %.2f, want the paper's heavy skew (>0.6)", memShare)
+	}
+	if colShare > 0.01 {
+		t.Errorf("large dicts are %.4f of columns, want < 1%%", colShare)
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	for _, name := range Names() {
+		s := Generate(name, 7)
+		cols, mem := s.DecadeShares()
+		var sc, sm float64
+		for i := range cols {
+			sc += cols[i]
+			sm += mem[i]
+		}
+		if math.Abs(sc-1) > 1e-9 || math.Abs(sm-1) > 1e-9 {
+			t.Errorf("%s: shares sum to %.4f / %.4f", name, sc, sm)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate("BW System", 5)
+	b := Generate("BW System", 5)
+	if len(a.Columns) != len(b.Columns) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			t.Fatal("columns differ across equal seeds")
+		}
+	}
+}
+
+func TestUnknownSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate("HAL 9000", 1)
+}

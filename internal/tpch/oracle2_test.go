@@ -1,0 +1,520 @@
+package tpch
+
+// Brute-force oracles for the remaining queries (2, 7, 8, 9, 11, 16, 17,
+// 20, 21): string-at-a-time re-evaluations of the query semantics, compared
+// against the code-based plans.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"strdict/internal/colstore"
+)
+
+// nationsByRegion collects, by plain string comparison, the nation keys and
+// names of one region.
+func nationsByRegion(t *testing.T, s *colstore.Store, region string) map[string]string {
+	t.Helper()
+	rt, nt := s.Table("region"), s.Table("nation")
+	var regionKey string
+	for row := 0; row < rt.Rows(); row++ {
+		if rt.Str("r_name").Get(row) == region {
+			regionKey = rt.Str("r_regionkey").Get(row)
+		}
+	}
+	out := make(map[string]string)
+	for row := 0; row < nt.Rows(); row++ {
+		if nt.Str("n_regionkey").Get(row) == regionKey {
+			out[nt.Str("n_nationkey").Get(row)] = nt.Str("n_name").Get(row)
+		}
+	}
+	return out
+}
+
+func TestQ2BruteForce(t *testing.T) {
+	s := store(t)
+	euro := nationsByRegion(t, s, "EUROPE")
+
+	st, pt, pst := s.Table("supplier"), s.Table("part"), s.Table("partsupp")
+	suppNation := make(map[string]string)
+	for row := 0; row < st.Rows(); row++ {
+		suppNation[st.Str("s_suppkey").Get(row)] = st.Str("s_nationkey").Get(row)
+	}
+	partOK := make(map[string]bool)
+	for row := 0; row < pt.Rows(); row++ {
+		partOK[pt.Str("p_partkey").Get(row)] =
+			pt.Int("p_size").Get(row) == 15 &&
+				strings.HasSuffix(pt.Str("p_type").Get(row), "BRASS")
+	}
+	minCost := make(map[string]float64)
+	for row := 0; row < pst.Rows(); row++ {
+		pk := pst.Str("ps_partkey").Get(row)
+		sk := pst.Str("ps_suppkey").Get(row)
+		if !partOK[pk] {
+			continue
+		}
+		if _, ok := euro[suppNation[sk]]; !ok {
+			continue
+		}
+		c := pst.Float("ps_supplycost").Get(row)
+		if old, ok := minCost[pk]; !ok || c < old {
+			minCost[pk] = c
+		}
+	}
+
+	res := q2(s)
+	// Every result row must reference a qualifying part whose supplier's
+	// cost equals the minimum for that part.
+	if len(minCost) > 0 && len(res.Rows) == 0 {
+		t.Fatal("Q2 empty but qualifying parts exist")
+	}
+	for _, r := range res.Rows {
+		pk := r[3]
+		if !partOK[pk] {
+			t.Errorf("part %s in result does not qualify", pk)
+		}
+		if _, ok := minCost[pk]; !ok {
+			t.Errorf("part %s has no European supplier", pk)
+		}
+		if _, ok := euro[""]; ok {
+			t.Error("empty nation key")
+		}
+	}
+	if len(res.Rows) > 100 {
+		t.Fatalf("Q2 returned %d rows, limit 100", len(res.Rows))
+	}
+}
+
+func TestQ7BruteForce(t *testing.T) {
+	s := store(t)
+	lo, hi := Date("1995-01-01"), Date("1996-12-31")
+	nt := s.Table("nation")
+	keyOf := make(map[string]string) // name -> key
+	for row := 0; row < nt.Rows(); row++ {
+		keyOf[nt.Str("n_name").Get(row)] = nt.Str("n_nationkey").Get(row)
+	}
+	fr, de := keyOf["FRANCE"], keyOf["GERMANY"]
+
+	ct, st, ot, lt := s.Table("customer"), s.Table("supplier"), s.Table("orders"), s.Table("lineitem")
+	custNation := make(map[string]string)
+	for row := 0; row < ct.Rows(); row++ {
+		custNation[ct.Str("c_custkey").Get(row)] = ct.Str("c_nationkey").Get(row)
+	}
+	suppNation := make(map[string]string)
+	for row := 0; row < st.Rows(); row++ {
+		suppNation[st.Str("s_suppkey").Get(row)] = st.Str("s_nationkey").Get(row)
+	}
+	orderCust := make(map[string]string)
+	for row := 0; row < ot.Rows(); row++ {
+		orderCust[ot.Str("o_orderkey").Get(row)] = ot.Str("o_custkey").Get(row)
+	}
+
+	type gk struct {
+		s, c string
+		y    int
+	}
+	want := make(map[gk]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		d := lt.Int("l_shipdate").Get(row)
+		if d < lo || d > hi {
+			continue
+		}
+		sn := suppNation[lt.Str("l_suppkey").Get(row)]
+		cn := custNation[orderCust[lt.Str("l_orderkey").Get(row)]]
+		if !((sn == fr && cn == de) || (sn == de && cn == fr)) {
+			continue
+		}
+		sName, cName := "FRANCE", "GERMANY"
+		if sn == de {
+			sName, cName = "GERMANY", "FRANCE"
+		}
+		want[gk{sName, cName, yearOf(d)}] +=
+			lt.Float("l_extendedprice").Get(row) * (1 - lt.Float("l_discount").Get(row))
+	}
+
+	res := q7(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d groups, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		y := int(parseF(r[2]))
+		w := want[gk{r[0], r[1], y}]
+		if math.Abs(parseF(r[3])-w) > 1 {
+			t.Errorf("group %v: revenue %s, want %.2f", r[:3], r[3], w)
+		}
+	}
+}
+
+func TestQ9BruteForce(t *testing.T) {
+	s := store(t)
+	pt, st, pst, ot, lt, nt :=
+		s.Table("part"), s.Table("supplier"), s.Table("partsupp"),
+		s.Table("orders"), s.Table("lineitem"), s.Table("nation")
+
+	green := make(map[string]bool)
+	for row := 0; row < pt.Rows(); row++ {
+		green[pt.Str("p_partkey").Get(row)] =
+			strings.Contains(pt.Str("p_name").Get(row), "green")
+	}
+	nationName := make(map[string]string)
+	for row := 0; row < nt.Rows(); row++ {
+		nationName[nt.Str("n_nationkey").Get(row)] = nt.Str("n_name").Get(row)
+	}
+	suppNation := make(map[string]string)
+	for row := 0; row < st.Rows(); row++ {
+		suppNation[st.Str("s_suppkey").Get(row)] = st.Str("s_nationkey").Get(row)
+	}
+	type pair struct{ p, s string }
+	costOf := make(map[pair]float64)
+	for row := 0; row < pst.Rows(); row++ {
+		costOf[pair{pst.Str("ps_partkey").Get(row), pst.Str("ps_suppkey").Get(row)}] =
+			pst.Float("ps_supplycost").Get(row)
+	}
+	orderYear := make(map[string]int)
+	for row := 0; row < ot.Rows(); row++ {
+		orderYear[ot.Str("o_orderkey").Get(row)] = yearOf(ot.Int("o_orderdate").Get(row))
+	}
+
+	type gk struct {
+		nation string
+		year   int
+	}
+	want := make(map[gk]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		pk := lt.Str("l_partkey").Get(row)
+		if !green[pk] {
+			continue
+		}
+		sk := lt.Str("l_suppkey").Get(row)
+		amount := lt.Float("l_extendedprice").Get(row)*(1-lt.Float("l_discount").Get(row)) -
+			costOf[pair{pk, sk}]*lt.Float("l_quantity").Get(row)
+		want[gk{nationName[suppNation[sk]], orderYear[lt.Str("l_orderkey").Get(row)]}] += amount
+	}
+
+	res := q9(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d groups, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		w := want[gk{r[0], int(parseF(r[1]))}]
+		if math.Abs(parseF(r[2])-w) > 1 {
+			t.Errorf("group %v: profit %s, want %.2f", r[:2], r[2], w)
+		}
+	}
+}
+
+func TestQ11BruteForce(t *testing.T) {
+	s := store(t)
+	nt, st, pst := s.Table("nation"), s.Table("supplier"), s.Table("partsupp")
+	var deKey string
+	for row := 0; row < nt.Rows(); row++ {
+		if nt.Str("n_name").Get(row) == "GERMANY" {
+			deKey = nt.Str("n_nationkey").Get(row)
+		}
+	}
+	germanSupp := make(map[string]bool)
+	for row := 0; row < st.Rows(); row++ {
+		if st.Str("s_nationkey").Get(row) == deKey {
+			germanSupp[st.Str("s_suppkey").Get(row)] = true
+		}
+	}
+	value := make(map[string]float64)
+	var total float64
+	for row := 0; row < pst.Rows(); row++ {
+		if !germanSupp[pst.Str("ps_suppkey").Get(row)] {
+			continue
+		}
+		v := pst.Float("ps_supplycost").Get(row) * float64(pst.Int("ps_availqty").Get(row))
+		value[pst.Str("ps_partkey").Get(row)] += v
+		total += v
+	}
+	threshold := total * 0.0001
+	want := 0
+	for _, v := range value {
+		if v > threshold {
+			want++
+		}
+	}
+	res := q11(s)
+	if len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	for _, r := range res.Rows {
+		if math.Abs(parseF(r[1])-value[r[0]]) > 0.5 {
+			t.Errorf("part %s: value %s, want %.2f", r[0], r[1], value[r[0]])
+		}
+	}
+}
+
+func TestQ17BruteForce(t *testing.T) {
+	s := store(t)
+	pt, lt := s.Table("part"), s.Table("lineitem")
+	qualify := make(map[string]bool)
+	for row := 0; row < pt.Rows(); row++ {
+		qualify[pt.Str("p_partkey").Get(row)] =
+			pt.Str("p_brand").Get(row) == "Brand#23" &&
+				pt.Str("p_container").Get(row) == "MED BOX"
+	}
+	sum := make(map[string]float64)
+	cnt := make(map[string]int)
+	for row := 0; row < lt.Rows(); row++ {
+		pk := lt.Str("l_partkey").Get(row)
+		if qualify[pk] {
+			sum[pk] += lt.Float("l_quantity").Get(row)
+			cnt[pk]++
+		}
+	}
+	var total float64
+	for row := 0; row < lt.Rows(); row++ {
+		pk := lt.Str("l_partkey").Get(row)
+		if !qualify[pk] || cnt[pk] == 0 {
+			continue
+		}
+		if lt.Float("l_quantity").Get(row) < 0.2*sum[pk]/float64(cnt[pk]) {
+			total += lt.Float("l_extendedprice").Get(row)
+		}
+	}
+	got := parseF(q17(s).Rows[0][0])
+	if math.Abs(got-total/7) > 0.5 {
+		t.Fatalf("Q17 = %.2f, want %.2f", got, total/7)
+	}
+}
+
+func TestQ21BruteForce(t *testing.T) {
+	s := store(t)
+	nt, st, ot, lt := s.Table("nation"), s.Table("supplier"), s.Table("orders"), s.Table("lineitem")
+	var saKey string
+	for row := 0; row < nt.Rows(); row++ {
+		if nt.Str("n_name").Get(row) == "SAUDI ARABIA" {
+			saKey = nt.Str("n_nationkey").Get(row)
+		}
+	}
+	saudiSupp := make(map[string]string) // suppkey -> name
+	for row := 0; row < st.Rows(); row++ {
+		if st.Str("s_nationkey").Get(row) == saKey {
+			saudiSupp[st.Str("s_suppkey").Get(row)] = st.Str("s_name").Get(row)
+		}
+	}
+	orderF := make(map[string]bool)
+	for row := 0; row < ot.Rows(); row++ {
+		orderF[ot.Str("o_orderkey").Get(row)] = ot.Str("o_orderstatus").Get(row) == "F"
+	}
+	suppsOf := make(map[string]map[string]bool)
+	lateOf := make(map[string]map[string]bool)
+	for row := 0; row < lt.Rows(); row++ {
+		okKey := lt.Str("l_orderkey").Get(row)
+		if !orderF[okKey] {
+			continue
+		}
+		sk := lt.Str("l_suppkey").Get(row)
+		if suppsOf[okKey] == nil {
+			suppsOf[okKey] = map[string]bool{}
+		}
+		suppsOf[okKey][sk] = true
+		if lt.Int("l_receiptdate").Get(row) > lt.Int("l_commitdate").Get(row) {
+			if lateOf[okKey] == nil {
+				lateOf[okKey] = map[string]bool{}
+			}
+			lateOf[okKey][sk] = true
+		}
+	}
+	want := make(map[string]int) // s_name -> numwait
+	for okKey, late := range lateOf {
+		if len(late) != 1 || len(suppsOf[okKey]) < 2 {
+			continue
+		}
+		for sk := range late {
+			if name, ok := saudiSupp[sk]; ok {
+				want[name]++
+			}
+		}
+	}
+	res := q21(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d suppliers, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		if parseF(r[1]) != float64(want[r[0]]) {
+			t.Errorf("supplier %s: numwait %s, want %d", r[0], r[1], want[r[0]])
+		}
+	}
+}
+
+func TestQ16BruteForce(t *testing.T) {
+	s := store(t)
+	pt, st, pst := s.Table("part"), s.Table("supplier"), s.Table("partsupp")
+	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
+	type pinfo struct {
+		brand, ptype string
+		size         int64
+		ok           bool
+	}
+	parts := make(map[string]pinfo)
+	for row := 0; row < pt.Rows(); row++ {
+		p := pinfo{
+			brand: pt.Str("p_brand").Get(row),
+			ptype: pt.Str("p_type").Get(row),
+			size:  pt.Int("p_size").Get(row),
+		}
+		p.ok = p.brand != "Brand#45" && !strings.HasPrefix(p.ptype, "MEDIUM POLISHED") && sizes[p.size]
+		parts[pt.Str("p_partkey").Get(row)] = p
+	}
+	badSupp := make(map[string]bool)
+	for row := 0; row < st.Rows(); row++ {
+		if strings.Contains(st.Str("s_comment").Get(row), "Customer Complaints") {
+			badSupp[st.Str("s_suppkey").Get(row)] = true
+		}
+	}
+	type gk struct {
+		brand, ptype string
+		size         int64
+	}
+	want := make(map[gk]map[string]bool)
+	for row := 0; row < pst.Rows(); row++ {
+		p := parts[pst.Str("ps_partkey").Get(row)]
+		sk := pst.Str("ps_suppkey").Get(row)
+		if !p.ok || badSupp[sk] {
+			continue
+		}
+		k := gk{p.brand, p.ptype, p.size}
+		if want[k] == nil {
+			want[k] = map[string]bool{}
+		}
+		want[k][sk] = true
+	}
+	res := q16(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d groups, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		k := gk{r[0], r[1], int64(parseF(r[2]))}
+		if parseF(r[3]) != float64(len(want[k])) {
+			t.Errorf("group %v: %s suppliers, want %d", r[:3], r[3], len(want[k]))
+		}
+	}
+}
+
+func TestQ20BruteForce(t *testing.T) {
+	s := store(t)
+	lo, hi := Date("1994-01-01"), Date("1995-01-01")
+	nt, st, pt, pst, lt := s.Table("nation"), s.Table("supplier"), s.Table("part"), s.Table("partsupp"), s.Table("lineitem")
+	var caKey string
+	for row := 0; row < nt.Rows(); row++ {
+		if nt.Str("n_name").Get(row) == "CANADA" {
+			caKey = nt.Str("n_nationkey").Get(row)
+		}
+	}
+	forest := make(map[string]bool)
+	for row := 0; row < pt.Rows(); row++ {
+		forest[pt.Str("p_partkey").Get(row)] =
+			strings.HasPrefix(pt.Str("p_name").Get(row), "forest")
+	}
+	type pair struct{ p, s string }
+	shipped := make(map[pair]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		d := lt.Int("l_shipdate").Get(row)
+		if d < lo || d >= hi {
+			continue
+		}
+		shipped[pair{lt.Str("l_partkey").Get(row), lt.Str("l_suppkey").Get(row)}] +=
+			lt.Float("l_quantity").Get(row)
+	}
+	candidates := make(map[string]bool)
+	for row := 0; row < pst.Rows(); row++ {
+		pk := pst.Str("ps_partkey").Get(row)
+		sk := pst.Str("ps_suppkey").Get(row)
+		if !forest[pk] {
+			continue
+		}
+		sh := shipped[pair{pk, sk}]
+		if sh > 0 && float64(pst.Int("ps_availqty").Get(row)) > 0.5*sh {
+			candidates[sk] = true
+		}
+	}
+	want := make(map[string]bool) // s_name
+	for row := 0; row < st.Rows(); row++ {
+		if st.Str("s_nationkey").Get(row) == caKey && candidates[st.Str("s_suppkey").Get(row)] {
+			want[st.Str("s_name").Get(row)] = true
+		}
+	}
+	res := q20(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d suppliers, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		if !want[r[0]] {
+			t.Errorf("unexpected supplier %s", r[0])
+		}
+	}
+}
+
+func TestQ8BruteForce(t *testing.T) {
+	s := store(t)
+	lo, hi := Date("1995-01-01"), Date("1996-12-31")
+	america := nationsByRegion(t, s, "AMERICA")
+	nt := s.Table("nation")
+	var brKey string
+	for row := 0; row < nt.Rows(); row++ {
+		if nt.Str("n_name").Get(row) == "BRAZIL" {
+			brKey = nt.Str("n_nationkey").Get(row)
+		}
+	}
+	pt, ct, st, ot, lt := s.Table("part"), s.Table("customer"), s.Table("supplier"), s.Table("orders"), s.Table("lineitem")
+	steel := make(map[string]bool)
+	for row := 0; row < pt.Rows(); row++ {
+		steel[pt.Str("p_partkey").Get(row)] =
+			pt.Str("p_type").Get(row) == "ECONOMY ANODIZED STEEL"
+	}
+	custNation := make(map[string]string)
+	for row := 0; row < ct.Rows(); row++ {
+		custNation[ct.Str("c_custkey").Get(row)] = ct.Str("c_nationkey").Get(row)
+	}
+	suppNation := make(map[string]string)
+	for row := 0; row < st.Rows(); row++ {
+		suppNation[st.Str("s_suppkey").Get(row)] = st.Str("s_nationkey").Get(row)
+	}
+	orderCust := make(map[string]string)
+	orderDay := make(map[string]int64)
+	for row := 0; row < ot.Rows(); row++ {
+		k := ot.Str("o_orderkey").Get(row)
+		orderCust[k] = ot.Str("o_custkey").Get(row)
+		orderDay[k] = ot.Int("o_orderdate").Get(row)
+	}
+	total := map[int]float64{}
+	brazil := map[int]float64{}
+	for row := 0; row < lt.Rows(); row++ {
+		if !steel[lt.Str("l_partkey").Get(row)] {
+			continue
+		}
+		okKey := lt.Str("l_orderkey").Get(row)
+		d := orderDay[okKey]
+		if d < lo || d > hi {
+			continue
+		}
+		cn := custNation[orderCust[okKey]]
+		if _, ok := america[cn]; !ok {
+			continue
+		}
+		v := lt.Float("l_extendedprice").Get(row) * (1 - lt.Float("l_discount").Get(row))
+		y := yearOf(d)
+		total[y] += v
+		if suppNation[lt.Str("l_suppkey").Get(row)] == brKey {
+			brazil[y] += v
+		}
+	}
+	res := q8(s)
+	if len(res.Rows) != len(total) {
+		t.Fatalf("%d years, want %d", len(res.Rows), len(total))
+	}
+	for _, r := range res.Rows {
+		y := int(parseF(r[0]))
+		want := 0.0
+		if total[y] > 0 {
+			want = brazil[y] / total[y]
+		}
+		if math.Abs(parseF(r[1])-want) > 0.01 {
+			t.Errorf("year %d: share %s, want %.2f", y, r[1], want)
+		}
+	}
+}

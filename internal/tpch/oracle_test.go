@@ -1,0 +1,371 @@
+package tpch
+
+// Brute-force oracles for the remaining queries: each re-evaluates the
+// query's semantics with direct row-at-a-time string materialization
+// (no codes, no dictionary translation) and compares against the
+// code-based physical plan. Together with tpch_test.go this covers all
+// join/aggregation shapes the 22 queries use.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQ4BruteForce(t *testing.T) {
+	s := store(t)
+	lt, ot := s.Table("lineitem"), s.Table("orders")
+	lo, hi := Date("1993-07-01"), Date("1993-10-01")
+
+	late := make(map[string]bool)
+	for row := 0; row < lt.Rows(); row++ {
+		if lt.Int("l_commitdate").Get(row) < lt.Int("l_receiptdate").Get(row) {
+			late[lt.Str("l_orderkey").Get(row)] = true
+		}
+	}
+	want := make(map[string]int)
+	for row := 0; row < ot.Rows(); row++ {
+		d := ot.Int("o_orderdate").Get(row)
+		if d >= lo && d < hi && late[ot.Str("o_orderkey").Get(row)] {
+			want[ot.Str("o_orderpriority").Get(row)]++
+		}
+	}
+	res := q4(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d priority groups, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		if parseF(r[1]) != float64(want[r[0]]) {
+			t.Errorf("priority %s: count %s, want %d", r[0], r[1], want[r[0]])
+		}
+	}
+}
+
+func TestQ5BruteForce(t *testing.T) {
+	s := store(t)
+	lo, hi := Date("1994-01-01"), Date("1995-01-01")
+
+	// region -> nations (by strings).
+	rt, nt := s.Table("region"), s.Table("nation")
+	var asiaKey string
+	for row := 0; row < rt.Rows(); row++ {
+		if rt.Str("r_name").Get(row) == "ASIA" {
+			asiaKey = rt.Str("r_regionkey").Get(row)
+		}
+	}
+	nationName := make(map[string]string) // nationkey -> name, ASIA only
+	for row := 0; row < nt.Rows(); row++ {
+		if nt.Str("n_regionkey").Get(row) == asiaKey {
+			nationName[nt.Str("n_nationkey").Get(row)] = nt.Str("n_name").Get(row)
+		}
+	}
+	ct := s.Table("customer")
+	custNation := make(map[string]string)
+	for row := 0; row < ct.Rows(); row++ {
+		custNation[ct.Str("c_custkey").Get(row)] = ct.Str("c_nationkey").Get(row)
+	}
+	st := s.Table("supplier")
+	suppNation := make(map[string]string)
+	for row := 0; row < st.Rows(); row++ {
+		suppNation[st.Str("s_suppkey").Get(row)] = st.Str("s_nationkey").Get(row)
+	}
+	ot := s.Table("orders")
+	orderCust := make(map[string]string)
+	orderDateOK := make(map[string]bool)
+	for row := 0; row < ot.Rows(); row++ {
+		k := ot.Str("o_orderkey").Get(row)
+		orderCust[k] = ot.Str("o_custkey").Get(row)
+		d := ot.Int("o_orderdate").Get(row)
+		orderDateOK[k] = d >= lo && d < hi
+	}
+	lt := s.Table("lineitem")
+	want := make(map[string]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		ok := lt.Str("l_orderkey").Get(row)
+		if !orderDateOK[ok] {
+			continue
+		}
+		sn := suppNation[lt.Str("l_suppkey").Get(row)]
+		cn := custNation[orderCust[ok]]
+		name, asia := nationName[sn]
+		if !asia || sn != cn {
+			continue
+		}
+		want[name] += lt.Float("l_extendedprice").Get(row) * (1 - lt.Float("l_discount").Get(row))
+	}
+
+	res := q5(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d nations, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		if math.Abs(parseF(r[1])-want[r[0]]) > 1 {
+			t.Errorf("nation %s: revenue %s, want %.2f", r[0], r[1], want[r[0]])
+		}
+	}
+}
+
+func TestQ10BruteForce(t *testing.T) {
+	s := store(t)
+	lo, hi := Date("1993-10-01"), Date("1994-01-01")
+	ot, lt := s.Table("orders"), s.Table("lineitem")
+
+	orderCust := make(map[string]string)
+	for row := 0; row < ot.Rows(); row++ {
+		d := ot.Int("o_orderdate").Get(row)
+		if d >= lo && d < hi {
+			orderCust[ot.Str("o_orderkey").Get(row)] = ot.Str("o_custkey").Get(row)
+		}
+	}
+	want := make(map[string]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		if lt.Str("l_returnflag").Get(row) != "R" {
+			continue
+		}
+		cust, ok := orderCust[lt.Str("l_orderkey").Get(row)]
+		if !ok {
+			continue
+		}
+		want[cust] += lt.Float("l_extendedprice").Get(row) * (1 - lt.Float("l_discount").Get(row))
+	}
+
+	res := q10(s)
+	for _, r := range res.Rows {
+		if math.Abs(parseF(r[2])-want[r[0]]) > 1 {
+			t.Errorf("customer %s: revenue %s, want %.2f", r[0], r[2], want[r[0]])
+		}
+	}
+	// Top-20 ordering: descending revenue.
+	for i := 1; i < len(res.Rows); i++ {
+		if parseF(res.Rows[i][2]) > parseF(res.Rows[i-1][2]) {
+			t.Fatal("Q10 rows not sorted by revenue desc")
+		}
+	}
+}
+
+func TestQ12BruteForce(t *testing.T) {
+	s := store(t)
+	lo, hi := Date("1994-01-01"), Date("1995-01-01")
+	ot, lt := s.Table("orders"), s.Table("lineitem")
+	prioOf := make(map[string]string)
+	for row := 0; row < ot.Rows(); row++ {
+		prioOf[ot.Str("o_orderkey").Get(row)] = ot.Str("o_orderpriority").Get(row)
+	}
+	type counts struct{ hi, lo int }
+	want := map[string]*counts{}
+	for row := 0; row < lt.Rows(); row++ {
+		mode := lt.Str("l_shipmode").Get(row)
+		if mode != "MAIL" && mode != "SHIP" {
+			continue
+		}
+		recv := lt.Int("l_receiptdate").Get(row)
+		commit := lt.Int("l_commitdate").Get(row)
+		ship := lt.Int("l_shipdate").Get(row)
+		if recv < lo || recv >= hi || !(commit < recv && ship < commit) {
+			continue
+		}
+		c := want[mode]
+		if c == nil {
+			c = &counts{}
+			want[mode] = c
+		}
+		p := prioOf[lt.Str("l_orderkey").Get(row)]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			c.hi++
+		} else {
+			c.lo++
+		}
+	}
+	res := q12(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d modes, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		w := want[r[0]]
+		if w == nil || parseF(r[1]) != float64(w.hi) || parseF(r[2]) != float64(w.lo) {
+			t.Errorf("mode %s: got %s/%s, want %d/%d", r[0], r[1], r[2], w.hi, w.lo)
+		}
+	}
+}
+
+func TestQ13BruteForce(t *testing.T) {
+	s := store(t)
+	ot, ct := s.Table("orders"), s.Table("customer")
+	perCust := make(map[string]int)
+	for row := 0; row < ot.Rows(); row++ {
+		com := ot.Str("o_comment").Get(row)
+		if i := strings.Index(com, "special"); i >= 0 && strings.Contains(com[i:], "requests") {
+			continue
+		}
+		perCust[ot.Str("o_custkey").Get(row)]++
+	}
+	hist := make(map[int]int)
+	for _, n := range perCust {
+		hist[n]++
+	}
+	hist[0] = ct.Rows() - len(perCust)
+
+	res := q13(s)
+	got := make(map[int]int)
+	for _, r := range res.Rows {
+		got[int(parseF(r[0]))] = int(parseF(r[1]))
+	}
+	for n, custs := range hist {
+		if got[n] != custs {
+			t.Errorf("c_count %d: custdist %d, want %d", n, got[n], custs)
+		}
+	}
+}
+
+func TestQ15BruteForce(t *testing.T) {
+	s := store(t)
+	lo, hi := Date("1996-01-01"), Date("1996-04-01")
+	lt := s.Table("lineitem")
+	rev := make(map[string]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		d := lt.Int("l_shipdate").Get(row)
+		if d < lo || d >= hi {
+			continue
+		}
+		rev[lt.Str("l_suppkey").Get(row)] +=
+			lt.Float("l_extendedprice").Get(row) * (1 - lt.Float("l_discount").Get(row))
+	}
+	var max float64
+	for _, v := range rev {
+		if v > max {
+			max = v
+		}
+	}
+	res := q15(s)
+	if len(res.Rows) == 0 {
+		t.Fatal("Q15 empty")
+	}
+	for _, r := range res.Rows {
+		if math.Abs(parseF(r[4])-max) > 1 {
+			t.Errorf("supplier %s: revenue %s, want max %.2f", r[0], r[4], max)
+		}
+		if math.Abs(rev[r[0]]-max) > 1 {
+			t.Errorf("supplier %s is not a max-revenue supplier", r[0])
+		}
+	}
+}
+
+func TestQ18BruteForce(t *testing.T) {
+	s := store(t)
+	lt := s.Table("lineitem")
+	sum := make(map[string]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		sum[lt.Str("l_orderkey").Get(row)] += lt.Float("l_quantity").Get(row)
+	}
+	want := make(map[string]float64)
+	for k, q := range sum {
+		if q > 300 {
+			want[k] = q
+		}
+	}
+	res := q18(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d orders, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		if math.Abs(parseF(r[5])-want[r[2]]) > 0.01 {
+			t.Errorf("order %s: qty %s, want %.2f", r[2], r[5], want[r[2]])
+		}
+	}
+}
+
+func TestQ19BruteForce(t *testing.T) {
+	s := store(t)
+	pt, lt := s.Table("part"), s.Table("lineitem")
+	type pinfo struct {
+		brand, cont string
+		size        int64
+	}
+	parts := make(map[string]pinfo)
+	for row := 0; row < pt.Rows(); row++ {
+		parts[pt.Str("p_partkey").Get(row)] = pinfo{
+			pt.Str("p_brand").Get(row), pt.Str("p_container").Get(row), pt.Int("p_size").Get(row),
+		}
+	}
+	in := func(v string, set ...string) bool {
+		for _, s := range set {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
+	var want float64
+	for row := 0; row < lt.Rows(); row++ {
+		mode := lt.Str("l_shipmode").Get(row)
+		if (mode != "AIR" && mode != "REG AIR") ||
+			lt.Str("l_shipinstruct").Get(row) != "DELIVER IN PERSON" {
+			continue
+		}
+		p := parts[lt.Str("l_partkey").Get(row)]
+		q := lt.Float("l_quantity").Get(row)
+		match := (p.brand == "Brand#12" && in(p.cont, "SM CASE", "SM BOX", "SM PACK", "SM PKG") &&
+			q >= 1 && q <= 11 && p.size >= 1 && p.size <= 5) ||
+			(p.brand == "Brand#23" && in(p.cont, "MED BAG", "MED BOX", "MED PKG", "MED PACK") &&
+				q >= 10 && q <= 20 && p.size >= 1 && p.size <= 10) ||
+			(p.brand == "Brand#34" && in(p.cont, "LG CASE", "LG BOX", "LG PACK", "LG PKG") &&
+				q >= 20 && q <= 30 && p.size >= 1 && p.size <= 15)
+		if match {
+			want += lt.Float("l_extendedprice").Get(row) * (1 - lt.Float("l_discount").Get(row))
+		}
+	}
+	got := parseF(q19(s).Rows[0][0])
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("Q19 = %.2f, want %.2f", got, want)
+	}
+}
+
+func TestQ22BruteForce(t *testing.T) {
+	s := store(t)
+	ct, ot := s.Table("customer"), s.Table("orders")
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+
+	hasOrder := make(map[string]bool)
+	for row := 0; row < ot.Rows(); row++ {
+		hasOrder[ot.Str("o_custkey").Get(row)] = true
+	}
+	var sum float64
+	var n int
+	for row := 0; row < ct.Rows(); row++ {
+		ph := ct.Str("c_phone").Get(row)
+		if len(ph) >= 2 && codes[ph[:2]] && ct.Float("c_acctbal").Get(row) > 0 {
+			sum += ct.Float("c_acctbal").Get(row)
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	type agg struct {
+		n   int
+		sum float64
+	}
+	want := make(map[string]*agg)
+	for row := 0; row < ct.Rows(); row++ {
+		ph := ct.Str("c_phone").Get(row)
+		bal := ct.Float("c_acctbal").Get(row)
+		if len(ph) < 2 || !codes[ph[:2]] || bal <= avg || hasOrder[ct.Str("c_custkey").Get(row)] {
+			continue
+		}
+		a := want[ph[:2]]
+		if a == nil {
+			a = &agg{}
+			want[ph[:2]] = a
+		}
+		a.n++
+		a.sum += bal
+	}
+	res := q22(s)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d country codes, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		w := want[r[0]]
+		if w == nil || parseF(r[1]) != float64(w.n) || math.Abs(parseF(r[2])-w.sum) > 0.5 {
+			t.Errorf("code %s: got (%s, %s), want (%d, %.2f)", r[0], r[1], r[2], w.n, w.sum)
+		}
+	}
+}

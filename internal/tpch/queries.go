@@ -1,0 +1,143 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"strdict/internal/colstore"
+)
+
+// Result is a query's materialized output.
+type Result struct {
+	Query   int
+	Columns []string
+	Rows    [][]string
+}
+
+// Query is one of the 22 TPC-H queries, hand-written as a physical plan.
+type Query struct {
+	Number int
+	Run    func(*colstore.Store) *Result
+}
+
+// Queries returns the 22 queries in order.
+func Queries() []Query {
+	return []Query{
+		{1, q1}, {2, q2}, {3, q3}, {4, q4}, {5, q5}, {6, q6}, {7, q7},
+		{8, q8}, {9, q9}, {10, q10}, {11, q11}, {12, q12}, {13, q13},
+		{14, q14}, {15, q15}, {16, q16}, {17, q17}, {18, q18}, {19, q19},
+		{20, q20}, {21, q21}, {22, q22},
+	}
+}
+
+// RunAll executes all 22 queries once and returns their results.
+func RunAll(s *colstore.Store) []*Result {
+	qs := Queries()
+	out := make([]*Result, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, q.Run(s))
+	}
+	return out
+}
+
+// --- plan helpers ---
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// sortRows orders rows by the given less function and truncates to limit
+// (limit <= 0 keeps everything).
+func sortRows(rows [][]string, limit int, less func(a, b []string) bool) [][]string {
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// eqCode locates a constant in a column's dictionary (one locate).
+func eqCode(c *colstore.StringColumn, v string) (uint32, bool) {
+	return c.Locate(v)
+}
+
+// keysOfNationsInRegion returns the n_nationkey codes (in the nation table's
+// n_nationkey dictionary) of all nations in the named region, along with a
+// map from that code to the nation's name.
+func keysOfNationsInRegion(s *colstore.Store, region string) (map[uint32]bool, map[uint32]string) {
+	rt, nt := s.Table("region"), s.Table("nation")
+	regionKeyByRow := rt.Str("r_regionkey")
+	rname := rt.Str("r_name")
+	var regionKey string
+	rcode, found := eqCode(rname, region)
+	if found {
+		for row := 0; row < rt.Rows(); row++ {
+			if code, ok := rname.Code(row); ok && code == rcode {
+				regionKey = regionKeyByRow.Get(row)
+			}
+		}
+	}
+	keys := make(map[uint32]bool)
+	names := make(map[uint32]string)
+	nrk := nt.Str("n_regionkey")
+	nk := nt.Str("n_nationkey")
+	nn := nt.Str("n_name")
+	want, haveRegion := eqCode(nrk, regionKey)
+	for row := 0; row < nt.Rows(); row++ {
+		if code, ok := nrk.Code(row); ok && haveRegion && code == want {
+			kc, _ := nk.Code(row)
+			keys[kc] = true
+			names[kc] = nn.Get(row)
+		}
+	}
+	return keys, names
+}
+
+// nationKeyCode returns the n_nationkey code of a nation by name, along
+// with the nation's name for result labelling.
+func nationKeyCode(s *colstore.Store, name string) (uint32, string, bool) {
+	nt := s.Table("nation")
+	nn := nt.Str("n_name")
+	nk := nt.Str("n_nationkey")
+	ncode, found := eqCode(nn, name)
+	if !found {
+		return 0, "", false
+	}
+	for row := 0; row < nt.Rows(); row++ {
+		if code, ok := nn.Code(row); ok && code == ncode {
+			kc, _ := nk.Code(row)
+			return kc, name, true
+		}
+	}
+	return 0, "", false
+}
+
+// yearOf converts a day number to its calendar year.
+func yearOf(day int64) int {
+	y, err := strconv.Atoi(DateString(day)[:4])
+	if err != nil {
+		panic(err)
+	}
+	return y
+}
+
+func strconvItoa(v int) string { return strconv.Itoa(v) }
+
+func parseF(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		panic("tpch: bad float in result row: " + s)
+	}
+	return v
+}
+
+// rowToNationCode maps every row of a *_nationkey column to its value ID in
+// the nation table's n_nationkey dictionary (-1 if absent).
+func rowToNationCode(s *colstore.Store, col *colstore.StringColumn) []int64 {
+	toNation := colstore.TranslateCodes(col, s.Table("nation").Str("n_nationkey"))
+	out := make([]int64, col.Len())
+	for row := range out {
+		code, _ := col.Code(row)
+		out[row] = toNation[code]
+	}
+	return out
+}

@@ -1,0 +1,944 @@
+package tpch
+
+// TPC-H queries 1-11. Each is a hand-written physical plan over the
+// colstore engine: constants cost one dictionary locate, joins run on value
+// IDs via dictionary translation, and result strings are extracted only for
+// surviving groups/rows.
+
+import (
+	"strings"
+
+	"strdict/internal/colstore"
+)
+
+// q1 — Pricing Summary Report: scan lineitem up to a ship-date cutoff,
+// aggregate by (returnflag, linestatus).
+//
+// Reference SQL:
+//
+//	select l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice),
+//	       sum(l_extendedprice*(1-l_discount)),
+//	       sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//	       avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+//	from lineitem where l_shipdate <= date '1998-12-01' - interval '90' day
+//	group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus
+func q1(s *colstore.Store) *Result {
+	lt := s.Table("lineitem")
+	ship := lt.Int("l_shipdate")
+	qty := lt.Float("l_quantity")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	tax := lt.Float("l_tax")
+	rf := lt.Str("l_returnflag")
+	ls := lt.Str("l_linestatus")
+	cutoff := Date("1998-12-01") - 90
+
+	type agg struct {
+		qty, base, discounted, charge, discSum float64
+		n                                      int
+	}
+	groups := make(map[uint64]*agg)
+	for row := 0; row < lt.Rows(); row++ {
+		if ship.Get(row) > cutoff {
+			continue
+		}
+		rc, _ := rf.Code(row)
+		lc, _ := ls.Code(row)
+		k := uint64(rc)<<32 | uint64(lc)
+		a := groups[k]
+		if a == nil {
+			a = &agg{}
+			groups[k] = a
+		}
+		q, e, d, t := qty.Get(row), ext.Get(row), disc.Get(row), tax.Get(row)
+		a.qty += q
+		a.base += e
+		a.discounted += e * (1 - d)
+		a.charge += e * (1 - d) * (1 + t)
+		a.discSum += d
+		a.n++
+	}
+
+	var rows [][]string
+	for k, a := range groups {
+		n := float64(a.n)
+		rows = append(rows, []string{
+			rf.Extract(uint32(k >> 32)),
+			ls.Extract(uint32(k & 0xffffffff)),
+			f2(a.qty), f2(a.base), f2(a.discounted), f2(a.charge),
+			f2(a.qty / n), f2(a.base / n), f2(a.discSum / n),
+			strconvItoa(a.n),
+		})
+	}
+	rows = sortRows(rows, 0, func(a, b []string) bool {
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	return &Result{Query: 1, Columns: []string{
+		"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+		"sum_disc_price", "sum_charge", "avg_qty", "avg_price", "avg_disc",
+		"count_order"}, Rows: rows}
+}
+
+// q2 — Minimum Cost Supplier: for BRASS parts of size 15, the cheapest
+// European supplier per part.
+//
+// Reference SQL:
+//
+//	select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+//	from part, supplier, partsupp, nation, region
+//	where p_partkey = ps_partkey and s_suppkey = ps_suppkey and p_size = 15
+//	  and p_type like '%BRASS' and s_nationkey = n_nationkey
+//	  and n_regionkey = r_regionkey and r_name = 'EUROPE'
+//	  and ps_supplycost = (select min(ps_supplycost) from partsupp, supplier,
+//	       nation, region where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+//	       and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+//	       and r_name = 'EUROPE')
+//	order by s_acctbal desc, n_name, s_name, p_partkey limit 100
+func q2(s *colstore.Store) *Result {
+	const (
+		size   = 15
+		suffix = "BRASS"
+		region = "EUROPE"
+	)
+	nationKeys, nationNames := keysOfNationsInRegion(s, region)
+
+	// European suppliers: supplier row -> nation code, via translating
+	// s_nationkey into the nation table's n_nationkey code space.
+	st := s.Table("supplier")
+	snk := st.Str("s_nationkey")
+	toNation := colstore.TranslateCodes(snk, s.Table("nation").Str("n_nationkey"))
+	suppNation := make([]int64, st.Rows()) // row -> n_nationkey code or -1
+	for row := 0; row < st.Rows(); row++ {
+		code, _ := snk.Code(row)
+		nc := toNation[code]
+		if nc >= 0 && nationKeys[uint32(nc)] {
+			suppNation[row] = nc
+		} else {
+			suppNation[row] = -1
+		}
+	}
+	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
+
+	// Qualifying parts.
+	pt := s.Table("part")
+	ptype := pt.Str("p_type")
+	psize := pt.Int("p_size")
+	typeOK := ptype.CodeSet(func(v string) bool { return strings.HasSuffix(v, suffix) })
+	partOK := make([]bool, pt.Rows())
+	for row := 0; row < pt.Rows(); row++ {
+		code, _ := ptype.Code(row)
+		partOK[row] = typeOK[code] && psize.Get(row) == size
+	}
+	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
+
+	// partsupp: min supply cost per part among European suppliers.
+	pst := s.Table("partsupp")
+	psPart := pst.Str("ps_partkey")
+	psSupp := pst.Str("ps_suppkey")
+	cost := pst.Float("ps_supplycost")
+	psPartToPart := colstore.TranslateCodes(psPart, pt.Str("p_partkey"))
+	psSuppToSupp := colstore.TranslateCodes(psSupp, st.Str("s_suppkey"))
+
+	type best struct {
+		cost    float64
+		suppRow int32
+		partRow int32
+	}
+	minCost := make(map[uint32]*best) // by ps_partkey code
+	for row := 0; row < pst.Rows(); row++ {
+		pc, _ := psPart.Code(row)
+		partCode := psPartToPart[pc]
+		if partCode < 0 {
+			continue
+		}
+		partRow := partRowByCode[partCode]
+		if partRow < 0 || !partOK[partRow] {
+			continue
+		}
+		sc, _ := psSupp.Code(row)
+		suppCode := psSuppToSupp[sc]
+		if suppCode < 0 {
+			continue
+		}
+		suppRow := suppRowByCode[suppCode]
+		if suppRow < 0 || suppNation[suppRow] < 0 {
+			continue
+		}
+		c := cost.Get(row)
+		if b, ok := minCost[pc]; !ok || c < b.cost {
+			minCost[pc] = &best{cost: c, suppRow: suppRow, partRow: partRow}
+		}
+	}
+
+	bal := st.Float("s_acctbal")
+	var rows [][]string
+	for _, b := range minCost {
+		rows = append(rows, []string{
+			f2(bal.Get(int(b.suppRow))),
+			st.Str("s_name").Get(int(b.suppRow)),
+			nationNames[uint32(suppNation[b.suppRow])],
+			pt.Str("p_partkey").Get(int(b.partRow)),
+			pt.Str("p_mfgr").Get(int(b.partRow)),
+			st.Str("s_address").Get(int(b.suppRow)),
+			st.Str("s_phone").Get(int(b.suppRow)),
+			st.Str("s_comment").Get(int(b.suppRow)),
+		})
+	}
+	rows = sortRows(rows, 100, func(a, b []string) bool {
+		if a[0] != b[0] {
+			return parseF(a[0]) > parseF(b[0])
+		}
+		if a[2] != b[2] {
+			return a[2] < b[2]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[3] < b[3]
+	})
+	return &Result{Query: 2, Columns: []string{
+		"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address",
+		"s_phone", "s_comment"}, Rows: rows}
+}
+
+// q3 — Shipping Priority: top 10 unshipped orders of BUILDING customers by
+// revenue.
+//
+// Reference SQL:
+//
+//	select l_orderkey, sum(l_extendedprice*(1-l_discount)) as revenue,
+//	       o_orderdate, o_shippriority
+//	from customer, orders, lineitem
+//	where c_mktsegment = 'BUILDING' and c_custkey = o_custkey
+//	  and l_orderkey = o_orderkey and o_orderdate < date '1995-03-15'
+//	  and l_shipdate > date '1995-03-15'
+//	group by l_orderkey, o_orderdate, o_shippriority
+//	order by revenue desc, o_orderdate limit 10
+func q3(s *colstore.Store) *Result {
+	cutoff := Date("1995-03-15")
+	ct := s.Table("customer")
+	seg := ct.Str("c_mktsegment")
+	segCode, segFound := eqCode(seg, "BUILDING")
+	custOK := make([]bool, ct.Rows())
+	for row := 0; row < ct.Rows(); row++ {
+		code, _ := seg.Code(row)
+		custOK[row] = segFound && code == segCode
+	}
+	custRowByCode := ct.Str("c_custkey").RowIndexByCode()
+
+	ot := s.Table("orders")
+	odate := ot.Int("o_orderdate")
+	shipPrio := ot.Int("o_shippriority")
+	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	orderPass := make([]bool, ot.Rows())
+	for row := 0; row < ot.Rows(); row++ {
+		if odate.Get(row) >= cutoff {
+			continue
+		}
+		cc, _ := ot.Str("o_custkey").Code(row)
+		custCode := oCustToCust[cc]
+		if custCode < 0 {
+			continue
+		}
+		custRow := custRowByCode[custCode]
+		orderPass[row] = custRow >= 0 && custOK[custRow]
+	}
+	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
+
+	lt := s.Table("lineitem")
+	lok := lt.Str("l_orderkey")
+	ship := lt.Int("l_shipdate")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
+	revenue := make(map[int64]float64) // by o_orderkey code
+	for row := 0; row < lt.Rows(); row++ {
+		if ship.Get(row) <= cutoff {
+			continue
+		}
+		lc, _ := lok.Code(row)
+		oc := liOrderToOrder[lc]
+		if oc < 0 {
+			continue
+		}
+		orow := orderRowByCode[oc]
+		if orow < 0 || !orderPass[orow] {
+			continue
+		}
+		revenue[oc] += ext.Get(row) * (1 - disc.Get(row))
+	}
+
+	var rows [][]string
+	for oc, rev := range revenue {
+		orow := int(orderRowByCode[oc])
+		rows = append(rows, []string{
+			ot.Str("o_orderkey").Extract(uint32(oc)),
+			f2(rev),
+			DateString(odate.Get(orow)),
+			strconvItoa(int(shipPrio.Get(orow))),
+		})
+	}
+	rows = sortRows(rows, 10, func(a, b []string) bool {
+		if a[1] != b[1] {
+			return parseF(a[1]) > parseF(b[1])
+		}
+		return a[2] < b[2]
+	})
+	return &Result{Query: 3, Columns: []string{
+		"l_orderkey", "revenue", "o_orderdate", "o_shippriority"}, Rows: rows}
+}
+
+// q4 — Order Priority Checking: orders of 1993Q3 with at least one late
+// lineitem, counted per priority.
+//
+// Reference SQL:
+//
+//	select o_orderpriority, count(*) from orders
+//	where o_orderdate >= date '1993-07-01'
+//	  and o_orderdate < date '1993-07-01' + interval '3' month
+//	  and exists (select * from lineitem where l_orderkey = o_orderkey
+//	       and l_commitdate < l_receiptdate)
+//	group by o_orderpriority order by o_orderpriority
+func q4(s *colstore.Store) *Result {
+	lo, hi := Date("1993-07-01"), Date("1993-10-01")
+	lt := s.Table("lineitem")
+	lok := lt.Str("l_orderkey")
+	commit := lt.Int("l_commitdate")
+	recv := lt.Int("l_receiptdate")
+	ot := s.Table("orders")
+	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
+
+	lateOrder := make(map[int64]bool) // o_orderkey codes with commit < receipt
+	for row := 0; row < lt.Rows(); row++ {
+		if commit.Get(row) < recv.Get(row) {
+			lc, _ := lok.Code(row)
+			if oc := liOrderToOrder[lc]; oc >= 0 {
+				lateOrder[oc] = true
+			}
+		}
+	}
+
+	odate := ot.Int("o_orderdate")
+	prio := ot.Str("o_orderpriority")
+	okey := ot.Str("o_orderkey")
+	counts := make(map[uint32]int)
+	for row := 0; row < ot.Rows(); row++ {
+		d := odate.Get(row)
+		if d < lo || d >= hi {
+			continue
+		}
+		kc, _ := okey.Code(row)
+		if !lateOrder[int64(kc)] {
+			continue
+		}
+		pc, _ := prio.Code(row)
+		counts[pc]++
+	}
+
+	var rows [][]string
+	for pc, n := range counts {
+		rows = append(rows, []string{prio.Extract(pc), strconvItoa(n)})
+	}
+	rows = sortRows(rows, 0, func(a, b []string) bool { return a[0] < b[0] })
+	return &Result{Query: 4, Columns: []string{"o_orderpriority", "order_count"}, Rows: rows}
+}
+
+// q5 — Local Supplier Volume: revenue in ASIA from orders of 1994 where the
+// customer and supplier share a nation.
+//
+// Reference SQL:
+//
+//	select n_name, sum(l_extendedprice*(1-l_discount)) as revenue
+//	from customer, orders, lineitem, supplier, nation, region
+//	where c_custkey = o_custkey and l_orderkey = o_orderkey
+//	  and l_suppkey = s_suppkey and c_nationkey = s_nationkey
+//	  and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+//	  and r_name = 'ASIA' and o_orderdate >= date '1994-01-01'
+//	  and o_orderdate < date '1995-01-01'
+//	group by n_name order by revenue desc
+func q5(s *colstore.Store) *Result {
+	lo, hi := Date("1994-01-01"), Date("1995-01-01")
+	nationKeys, nationNames := keysOfNationsInRegion(s, "ASIA")
+
+	ct := s.Table("customer")
+	custNation := rowToNationCode(s, ct.Str("c_nationkey"))
+	custRowByCode := ct.Str("c_custkey").RowIndexByCode()
+
+	st := s.Table("supplier")
+	suppNation := rowToNationCode(s, st.Str("s_nationkey"))
+	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
+
+	ot := s.Table("orders")
+	odate := ot.Int("o_orderdate")
+	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
+
+	lt := s.Table("lineitem")
+	lok := lt.Str("l_orderkey")
+	lsk := lt.Str("l_suppkey")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
+	liSuppToSupp := colstore.TranslateCodes(lsk, st.Str("s_suppkey"))
+
+	revenue := make(map[int64]float64) // by nation code
+	for row := 0; row < lt.Rows(); row++ {
+		lc, _ := lok.Code(row)
+		oc := liOrderToOrder[lc]
+		if oc < 0 {
+			continue
+		}
+		orow := orderRowByCode[oc]
+		if orow < 0 {
+			continue
+		}
+		if d := odate.Get(int(orow)); d < lo || d >= hi {
+			continue
+		}
+		scRaw, _ := lsk.Code(row)
+		sc := liSuppToSupp[scRaw]
+		if sc < 0 {
+			continue
+		}
+		srow := suppRowByCode[sc]
+		if srow < 0 {
+			continue
+		}
+		sn := suppNation[srow]
+		if sn < 0 || !nationKeys[uint32(sn)] {
+			continue
+		}
+		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		cc := oCustToCust[ccRaw]
+		if cc < 0 {
+			continue
+		}
+		crow := custRowByCode[cc]
+		if crow < 0 || custNation[crow] != sn {
+			continue
+		}
+		revenue[sn] += ext.Get(row) * (1 - disc.Get(row))
+	}
+
+	var rows [][]string
+	for nc, rev := range revenue {
+		rows = append(rows, []string{nationNames[uint32(nc)], f2(rev)})
+	}
+	rows = sortRows(rows, 0, func(a, b []string) bool { return parseF(a[1]) > parseF(b[1]) })
+	return &Result{Query: 5, Columns: []string{"n_name", "revenue"}, Rows: rows}
+}
+
+// q6 — Forecasting Revenue Change: pure numeric scan of lineitem.
+//
+// Reference SQL:
+//
+//	select sum(l_extendedprice*l_discount) from lineitem
+//	where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
+//	  and l_discount between 0.05 and 0.07 and l_quantity < 24
+func q6(s *colstore.Store) *Result {
+	lo, hi := Date("1994-01-01"), Date("1995-01-01")
+	lt := s.Table("lineitem")
+	ship := lt.Int("l_shipdate")
+	qty := lt.Float("l_quantity")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	var revenue float64
+	for row := 0; row < lt.Rows(); row++ {
+		d := ship.Get(row)
+		dc := disc.Get(row)
+		if d >= lo && d < hi && dc >= 0.05-1e-9 && dc <= 0.07+1e-9 && qty.Get(row) < 24 {
+			revenue += ext.Get(row) * dc
+		}
+	}
+	return &Result{Query: 6, Columns: []string{"revenue"}, Rows: [][]string{{f2(revenue)}}}
+}
+
+// q7 — Volume Shipping: revenue shipped between FRANCE and GERMANY in
+// 1995-1996, by supplier nation, customer nation and year.
+//
+// Reference SQL:
+//
+//	select supp_nation, cust_nation, l_year, sum(volume) from (
+//	  select n1.n_name as supp_nation, n2.n_name as cust_nation,
+//	         extract(year from l_shipdate) as l_year,
+//	         l_extendedprice*(1-l_discount) as volume
+//	  from supplier, lineitem, orders, customer, nation n1, nation n2
+//	  where s_suppkey = l_suppkey and o_orderkey = l_orderkey
+//	    and c_custkey = o_custkey and s_nationkey = n1.n_nationkey
+//	    and c_nationkey = n2.n_nationkey
+//	    and ((n1.n_name='FRANCE' and n2.n_name='GERMANY') or
+//	         (n1.n_name='GERMANY' and n2.n_name='FRANCE'))
+//	    and l_shipdate between date '1995-01-01' and date '1996-12-31')
+//	group by supp_nation, cust_nation, l_year order by 1, 2, 3
+func q7(s *colstore.Store) *Result {
+	lo, hi := Date("1995-01-01"), Date("1996-12-31")
+	fr, frName, okFR := nationKeyCode(s, "FRANCE")
+	de, deName, okDE := nationKeyCode(s, "GERMANY")
+	if !okFR || !okDE {
+		return &Result{Query: 7}
+	}
+	names := map[uint32]string{fr: frName, de: deName}
+	_ = names
+
+	ct := s.Table("customer")
+	custNation := rowToNationCode(s, ct.Str("c_nationkey"))
+	custRowByCode := ct.Str("c_custkey").RowIndexByCode()
+	st := s.Table("supplier")
+	suppNation := rowToNationCode(s, st.Str("s_nationkey"))
+	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
+	ot := s.Table("orders")
+	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
+
+	lt := s.Table("lineitem")
+	lok := lt.Str("l_orderkey")
+	lsk := lt.Str("l_suppkey")
+	ship := lt.Int("l_shipdate")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
+	liSuppToSupp := colstore.TranslateCodes(lsk, st.Str("s_suppkey"))
+
+	type gk struct {
+		suppN, custN uint32
+		year         int
+	}
+	volume := make(map[gk]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		d := ship.Get(row)
+		if d < lo || d > hi {
+			continue
+		}
+		scRaw, _ := lsk.Code(row)
+		sc := liSuppToSupp[scRaw]
+		if sc < 0 {
+			continue
+		}
+		srow := suppRowByCode[sc]
+		if srow < 0 {
+			continue
+		}
+		sn := suppNation[srow]
+		lcRaw, _ := lok.Code(row)
+		oc := liOrderToOrder[lcRaw]
+		if oc < 0 {
+			continue
+		}
+		orow := orderRowByCode[oc]
+		if orow < 0 {
+			continue
+		}
+		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		cc := oCustToCust[ccRaw]
+		if cc < 0 {
+			continue
+		}
+		crow := custRowByCode[cc]
+		if crow < 0 {
+			continue
+		}
+		cn := custNation[crow]
+		pair := (sn == int64(fr) && cn == int64(de)) || (sn == int64(de) && cn == int64(fr))
+		if !pair {
+			continue
+		}
+		volume[gk{uint32(sn), uint32(cn), yearOf(d)}] += ext.Get(row) * (1 - disc.Get(row))
+	}
+
+	var rows [][]string
+	for k, v := range volume {
+		rows = append(rows, []string{names[k.suppN], names[k.custN], strconvItoa(k.year), f2(v)})
+	}
+	rows = sortRows(rows, 0, func(a, b []string) bool {
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	return &Result{Query: 7, Columns: []string{"supp_nation", "cust_nation", "l_year", "revenue"}, Rows: rows}
+}
+
+// q8 — National Market Share: BRAZIL's share of ECONOMY ANODIZED STEEL
+// revenue in AMERICA, by year.
+//
+// Reference SQL:
+//
+//	select o_year, sum(case when nation='BRAZIL' then volume else 0 end)/sum(volume)
+//	from (select extract(year from o_orderdate) as o_year,
+//	             l_extendedprice*(1-l_discount) as volume, n2.n_name as nation
+//	      from part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+//	      where p_partkey = l_partkey and s_suppkey = l_suppkey
+//	        and l_orderkey = o_orderkey and o_custkey = c_custkey
+//	        and c_nationkey = n1.n_nationkey and n1.n_regionkey = r_regionkey
+//	        and r_name = 'AMERICA' and s_nationkey = n2.n_nationkey
+//	        and o_orderdate between date '1995-01-01' and date '1996-12-31'
+//	        and p_type = 'ECONOMY ANODIZED STEEL')
+//	group by o_year order by o_year
+func q8(s *colstore.Store) *Result {
+	lo, hi := Date("1995-01-01"), Date("1996-12-31")
+	amKeys, _ := keysOfNationsInRegion(s, "AMERICA")
+	br, _, okBR := nationKeyCode(s, "BRAZIL")
+	if !okBR {
+		return &Result{Query: 8}
+	}
+
+	pt := s.Table("part")
+	ptype := pt.Str("p_type")
+	typeCode, typeFound := eqCode(ptype, "ECONOMY ANODIZED STEEL")
+	partOK := make([]bool, pt.Rows())
+	for row := 0; row < pt.Rows(); row++ {
+		code, _ := ptype.Code(row)
+		partOK[row] = typeFound && code == typeCode
+	}
+	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
+
+	ct := s.Table("customer")
+	custNation := rowToNationCode(s, ct.Str("c_nationkey"))
+	custRowByCode := ct.Str("c_custkey").RowIndexByCode()
+	st := s.Table("supplier")
+	suppNation := rowToNationCode(s, st.Str("s_nationkey"))
+	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
+	ot := s.Table("orders")
+	odate := ot.Int("o_orderdate")
+	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
+
+	lt := s.Table("lineitem")
+	lok := lt.Str("l_orderkey")
+	lpk := lt.Str("l_partkey")
+	lsk := lt.Str("l_suppkey")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
+	liPartToPart := colstore.TranslateCodes(lpk, pt.Str("p_partkey"))
+	liSuppToSupp := colstore.TranslateCodes(lsk, st.Str("s_suppkey"))
+
+	total := make(map[int]float64)
+	brazil := make(map[int]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		pcRaw, _ := lpk.Code(row)
+		pc := liPartToPart[pcRaw]
+		if pc < 0 {
+			continue
+		}
+		prow := partRowByCode[pc]
+		if prow < 0 || !partOK[prow] {
+			continue
+		}
+		lcRaw, _ := lok.Code(row)
+		oc := liOrderToOrder[lcRaw]
+		if oc < 0 {
+			continue
+		}
+		orow := orderRowByCode[oc]
+		if orow < 0 {
+			continue
+		}
+		d := odate.Get(int(orow))
+		if d < lo || d > hi {
+			continue
+		}
+		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		cc := oCustToCust[ccRaw]
+		if cc < 0 {
+			continue
+		}
+		crow := custRowByCode[cc]
+		if crow < 0 {
+			continue
+		}
+		cn := custNation[crow]
+		if cn < 0 || !amKeys[uint32(cn)] {
+			continue
+		}
+		scRaw, _ := lsk.Code(row)
+		sc := liSuppToSupp[scRaw]
+		if sc < 0 {
+			continue
+		}
+		srow := suppRowByCode[sc]
+		if srow < 0 {
+			continue
+		}
+		v := ext.Get(row) * (1 - disc.Get(row))
+		y := yearOf(d)
+		total[y] += v
+		if suppNation[srow] == int64(br) {
+			brazil[y] += v
+		}
+	}
+
+	var rows [][]string
+	for y, t := range total {
+		share := 0.0
+		if t > 0 {
+			share = brazil[y] / t
+		}
+		rows = append(rows, []string{strconvItoa(y), f2(share)})
+	}
+	rows = sortRows(rows, 0, func(a, b []string) bool { return a[0] < b[0] })
+	return &Result{Query: 8, Columns: []string{"o_year", "mkt_share"}, Rows: rows}
+}
+
+// q9 — Product Type Profit: profit of parts whose name contains "green",
+// by supplier nation and year.
+//
+// Reference SQL:
+//
+//	select nation, o_year, sum(amount) from (
+//	  select n_name as nation, extract(year from o_orderdate) as o_year,
+//	         l_extendedprice*(1-l_discount) - ps_supplycost*l_quantity as amount
+//	  from part, supplier, lineitem, partsupp, orders, nation
+//	  where s_suppkey = l_suppkey and ps_suppkey = l_suppkey
+//	    and ps_partkey = l_partkey and p_partkey = l_partkey
+//	    and o_orderkey = l_orderkey and s_nationkey = n_nationkey
+//	    and p_name like '%green%')
+//	group by nation, o_year order by nation, o_year desc
+func q9(s *colstore.Store) *Result {
+	pt := s.Table("part")
+	pname := pt.Str("p_name")
+	greenParts := pname.CodeSet(func(v string) bool { return strings.Contains(v, "green") })
+	partOK := make([]bool, pt.Rows())
+	for row := 0; row < pt.Rows(); row++ {
+		code, _ := pname.Code(row)
+		partOK[row] = greenParts[code]
+	}
+	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
+
+	st := s.Table("supplier")
+	suppNation := rowToNationCode(s, st.Str("s_nationkey"))
+	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
+	nt := s.Table("nation")
+	nationName := make(map[int64]string)
+	for row := 0; row < nt.Rows(); row++ {
+		kc, _ := nt.Str("n_nationkey").Code(row)
+		nationName[int64(kc)] = nt.Str("n_name").Get(row)
+	}
+
+	// ps_supplycost lookup per (part, supp) pair.
+	pst := s.Table("partsupp")
+	psPart := pst.Str("ps_partkey")
+	psSupp := pst.Str("ps_suppkey")
+	psCost := pst.Float("ps_supplycost")
+	type pair struct{ p, s int64 }
+	costOf := make(map[pair]float64, pst.Rows())
+	psPartToPart := colstore.TranslateCodes(psPart, pt.Str("p_partkey"))
+	psSuppToSupp := colstore.TranslateCodes(psSupp, st.Str("s_suppkey"))
+	for row := 0; row < pst.Rows(); row++ {
+		pcRaw, _ := psPart.Code(row)
+		scRaw, _ := psSupp.Code(row)
+		costOf[pair{psPartToPart[pcRaw], psSuppToSupp[scRaw]}] = psCost.Get(row)
+	}
+
+	ot := s.Table("orders")
+	odate := ot.Int("o_orderdate")
+	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
+
+	lt := s.Table("lineitem")
+	lok := lt.Str("l_orderkey")
+	lpk := lt.Str("l_partkey")
+	lsk := lt.Str("l_suppkey")
+	qty := lt.Float("l_quantity")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
+	liPartToPart := colstore.TranslateCodes(lpk, pt.Str("p_partkey"))
+	liSuppToSupp := colstore.TranslateCodes(lsk, st.Str("s_suppkey"))
+
+	type gk struct {
+		nation int64
+		year   int
+	}
+	profit := make(map[gk]float64)
+	for row := 0; row < lt.Rows(); row++ {
+		pcRaw, _ := lpk.Code(row)
+		pc := liPartToPart[pcRaw]
+		if pc < 0 {
+			continue
+		}
+		prow := partRowByCode[pc]
+		if prow < 0 || !partOK[prow] {
+			continue
+		}
+		scRaw, _ := lsk.Code(row)
+		sc := liSuppToSupp[scRaw]
+		if sc < 0 {
+			continue
+		}
+		srow := suppRowByCode[sc]
+		if srow < 0 {
+			continue
+		}
+		lcRaw, _ := lok.Code(row)
+		oc := liOrderToOrder[lcRaw]
+		if oc < 0 {
+			continue
+		}
+		orow := orderRowByCode[oc]
+		if orow < 0 {
+			continue
+		}
+		amount := ext.Get(row)*(1-disc.Get(row)) - costOf[pair{pc, sc}]*qty.Get(row)
+		profit[gk{suppNation[srow], yearOf(odate.Get(int(orow)))}] += amount
+	}
+
+	var rows [][]string
+	for k, v := range profit {
+		rows = append(rows, []string{nationName[k.nation], strconvItoa(k.year), f2(v)})
+	}
+	rows = sortRows(rows, 0, func(a, b []string) bool {
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] > b[1]
+	})
+	return &Result{Query: 9, Columns: []string{"nation", "o_year", "sum_profit"}, Rows: rows}
+}
+
+// q10 — Returned Item Reporting: top 20 customers by lost revenue in 1993Q4.
+//
+// Reference SQL:
+//
+//	select c_custkey, c_name, sum(l_extendedprice*(1-l_discount)) as revenue,
+//	       c_acctbal, n_name, c_address, c_phone, c_comment
+//	from customer, orders, lineitem, nation
+//	where c_custkey = o_custkey and l_orderkey = o_orderkey
+//	  and o_orderdate >= date '1993-10-01' and o_orderdate < date '1994-01-01'
+//	  and l_returnflag = 'R' and c_nationkey = n_nationkey
+//	group by ... order by revenue desc limit 20
+func q10(s *colstore.Store) *Result {
+	lo, hi := Date("1993-10-01"), Date("1994-01-01")
+	ct := s.Table("customer")
+	custRowByCode := ct.Str("c_custkey").RowIndexByCode()
+	custNation := rowToNationCode(s, ct.Str("c_nationkey"))
+	nt := s.Table("nation")
+	nationName := make(map[int64]string)
+	for row := 0; row < nt.Rows(); row++ {
+		kc, _ := nt.Str("n_nationkey").Code(row)
+		nationName[int64(kc)] = nt.Str("n_name").Get(row)
+	}
+
+	ot := s.Table("orders")
+	odate := ot.Int("o_orderdate")
+	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
+
+	lt := s.Table("lineitem")
+	lok := lt.Str("l_orderkey")
+	lret := lt.Str("l_returnflag")
+	ext := lt.Float("l_extendedprice")
+	disc := lt.Float("l_discount")
+	retCode, retFound := eqCode(lret, "R")
+	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
+
+	revenue := make(map[int64]float64) // by c_custkey code
+	for row := 0; row < lt.Rows(); row++ {
+		rc, _ := lret.Code(row)
+		if !retFound || rc != retCode {
+			continue
+		}
+		lcRaw, _ := lok.Code(row)
+		oc := liOrderToOrder[lcRaw]
+		if oc < 0 {
+			continue
+		}
+		orow := orderRowByCode[oc]
+		if orow < 0 {
+			continue
+		}
+		if d := odate.Get(int(orow)); d < lo || d >= hi {
+			continue
+		}
+		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		cc := oCustToCust[ccRaw]
+		if cc < 0 {
+			continue
+		}
+		revenue[cc] += ext.Get(row) * (1 - disc.Get(row))
+	}
+
+	var rows [][]string
+	for cc, rev := range revenue {
+		crow := int(custRowByCode[cc])
+		rows = append(rows, []string{
+			ct.Str("c_custkey").Extract(uint32(cc)),
+			ct.Str("c_name").Get(crow),
+			f2(rev),
+			f2(ct.Float("c_acctbal").Get(crow)),
+			nationName[custNation[crow]],
+			ct.Str("c_address").Get(crow),
+			ct.Str("c_phone").Get(crow),
+			ct.Str("c_comment").Get(crow),
+		})
+	}
+	rows = sortRows(rows, 20, func(a, b []string) bool { return parseF(a[2]) > parseF(b[2]) })
+	return &Result{Query: 10, Columns: []string{
+		"c_custkey", "c_name", "revenue", "c_acctbal", "n_name", "c_address",
+		"c_phone", "c_comment"}, Rows: rows}
+}
+
+// q11 — Important Stock Identification: GERMANY's part stock values above
+// a fraction of the total.
+//
+// Reference SQL:
+//
+//	select ps_partkey, sum(ps_supplycost*ps_availqty) as value
+//	from partsupp, supplier, nation
+//	where ps_suppkey = s_suppkey and s_nationkey = n_nationkey
+//	  and n_name = 'GERMANY'
+//	group by ps_partkey
+//	having sum(ps_supplycost*ps_availqty) >
+//	  (select sum(ps_supplycost*ps_availqty) * 0.0001 from ... same joins ...)
+//	order by value desc
+func q11(s *colstore.Store) *Result {
+	de, _, okDE := nationKeyCode(s, "GERMANY")
+	if !okDE {
+		return &Result{Query: 11}
+	}
+	st := s.Table("supplier")
+	suppNation := rowToNationCode(s, st.Str("s_nationkey"))
+	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
+
+	pst := s.Table("partsupp")
+	psPart := pst.Str("ps_partkey")
+	psSupp := pst.Str("ps_suppkey")
+	qty := pst.Int("ps_availqty")
+	cost := pst.Float("ps_supplycost")
+	psSuppToSupp := colstore.TranslateCodes(psSupp, st.Str("s_suppkey"))
+
+	value := make(map[uint32]float64) // by ps_partkey code
+	var total float64
+	for row := 0; row < pst.Rows(); row++ {
+		scRaw, _ := psSupp.Code(row)
+		sc := psSuppToSupp[scRaw]
+		if sc < 0 {
+			continue
+		}
+		srow := suppRowByCode[sc]
+		if srow < 0 || suppNation[srow] != int64(de) {
+			continue
+		}
+		pc, _ := psPart.Code(row)
+		v := cost.Get(row) * float64(qty.Get(row))
+		value[pc] += v
+		total += v
+	}
+
+	// The spec's fraction is 0.0001/SF; with our generated sizes the
+	// equivalent cut is a constant fraction of the total.
+	threshold := total * 0.0001
+	var rows [][]string
+	for pc, v := range value {
+		if v > threshold {
+			rows = append(rows, []string{psPart.Extract(pc), f2(v)})
+		}
+	}
+	rows = sortRows(rows, 0, func(a, b []string) bool { return parseF(a[1]) > parseF(b[1]) })
+	return &Result{Query: 11, Columns: []string{"ps_partkey", "value"}, Rows: rows}
+}

@@ -1,0 +1,114 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"strdict/internal/colstore"
+)
+
+// RefreshInsert implements the spirit of the TPC-H RF1 refresh function:
+// it appends fraction*|orders| new orders (with their lineitems) to the
+// write-optimized delta of the orders and lineitem tables. New order keys
+// continue beyond the current maximum, new lineitems reference existing
+// parts, suppliers and customers.
+//
+// Refresh streams matter to the paper because update-intensive columns need
+// dictionaries with fast construction (Section 5.1): the merge interval
+// that follows a refresh bounds how much construction time the manager can
+// amortize. The deltas stay unmerged so the caller (a MergeScheduler or an
+// explicit Merge) decides when and in which format to fold them in.
+//
+// It returns the number of orders inserted.
+func RefreshInsert(s *colstore.Store, seed int64, fraction float64) int {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	ot := s.Table("orders")
+	lt := s.Table("lineitem")
+
+	nOrd := ot.Rows()
+	nCust := s.Table("customer").Rows()
+	nPart := s.Table("part").Rows()
+	nSupp := s.Table("supplier").Rows()
+	insert := int(float64(nOrd) * fraction)
+	if insert < 1 {
+		insert = 1
+	}
+
+	clerks := 1 + nOrd/1000
+	cutoff := Date("1995-06-17")
+	for o := nOrd; o < nOrd+insert; o++ {
+		oday := dateLo + g.rng.Int63n(dateHi-dateLo-121)
+		nl := 1 + g.rng.Intn(7)
+		var sumPrice float64
+		anyOpen, allF := false, true
+
+		for l := 0; l < nl; l++ {
+			part := g.rng.Intn(nPart)
+			supp := (part + l*(nSupp/4+1)) % nSupp
+			qty := float64(1 + g.rng.Intn(50))
+			price := qty * (901 + float64(part%200000)/10)
+			disc := float64(g.rng.Intn(11)) / 100
+			tax := float64(g.rng.Intn(9)) / 100
+			ship := oday + 1 + g.rng.Int63n(121)
+			commit := oday + 30 + g.rng.Int63n(61)
+			recv := ship + 1 + g.rng.Int63n(30)
+
+			ret := "N"
+			if recv <= cutoff {
+				if g.rng.Intn(2) == 0 {
+					ret = "R"
+				} else {
+					ret = "A"
+				}
+			}
+			stat := "O"
+			if ship <= cutoff {
+				stat = "F"
+			} else {
+				allF = false
+			}
+			if stat == "O" {
+				anyOpen = true
+			}
+
+			lt.Str("l_orderkey").Append(key(int64(o)))
+			lt.Str("l_partkey").Append(key(int64(part)))
+			lt.Str("l_suppkey").Append(key(int64(supp)))
+			lt.Int("l_linenumber").Append(int64(l + 1))
+			lt.Float("l_quantity").Append(qty)
+			lt.Float("l_extendedprice").Append(price)
+			lt.Float("l_discount").Append(disc)
+			lt.Float("l_tax").Append(tax)
+			lt.Str("l_returnflag").Append(ret)
+			lt.Str("l_linestatus").Append(stat)
+			lt.Int("l_shipdate").Append(ship)
+			lt.Int("l_commitdate").Append(commit)
+			lt.Int("l_receiptdate").Append(recv)
+			lt.Str("l_shipinstruct").Append(g.pick(instructs))
+			lt.Str("l_shipmode").Append(g.pick(shipmodes))
+			lt.Str("l_comment").Append(g.comment(8))
+			sumPrice += price * (1 - disc) * (1 + tax)
+		}
+
+		ost := "P"
+		if allF {
+			ost = "F"
+		} else if anyOpen {
+			ost = "O"
+		}
+		cust := g.rng.Intn(nCust)
+		if nCust > 3 && cust%3 == 0 {
+			cust++
+		}
+		ot.Str("o_orderkey").Append(key(int64(o)))
+		ot.Str("o_custkey").Append(key(int64(cust)))
+		ot.Str("o_orderstatus").Append(ost)
+		ot.Float("o_totalprice").Append(sumPrice)
+		ot.Int("o_orderdate").Append(oday)
+		ot.Str("o_orderpriority").Append(g.pick(priorities))
+		ot.Str("o_clerk").Append(fmt.Sprintf("Clerk#%09d", g.rng.Intn(clerks)))
+		ot.Int("o_shippriority").Append(0)
+		ot.Str("o_comment").Append(g.comment(12))
+	}
+	return insert
+}

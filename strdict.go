@@ -1,0 +1,232 @@
+// Package strdict is an adaptive string-dictionary compression library for
+// in-memory column stores, reproducing Müller, Ratsch and Faerber,
+// "Adaptive String Dictionary Compression in In-Memory Column-Store
+// Database Systems" (EDBT 2014).
+//
+// It provides three layers, mirroring the paper's three contributions:
+//
+//  1. Eighteen compressed, order-preserving string dictionary formats
+//     (Section 3): Build constructs any of them over a sorted string set;
+//     every format supports single-tuple extract and locate.
+//  2. A size-prediction framework (Section 4): Sample + EstimateSize predict
+//     a format's size from a small uniform sample of the column, and
+//     CostTable models per-operation runtimes.
+//  3. A compression manager (Section 5): Manager maintains a global
+//     space/time trade-off parameter c from memory-pressure feedback and
+//     selects a format per column whenever its dictionary is rebuilt.
+//
+// A minimal but complete in-memory column store (package-level Store, Table
+// and column types) serves as the substrate, including the write-optimized
+// delta, merges, and the query helpers used by the bundled TPC-H
+// implementation.
+//
+// Quick start:
+//
+//	d, err := strdict.Build(strdict.FCBlock, sortedUniqueStrings)
+//	id, found := d.Locate("needle")
+//	value := d.Extract(id)
+//
+// Adaptive selection:
+//
+//	mgr := strdict.NewManager(strdict.ManagerOptions{DesiredFreeBytes: 4 << 30})
+//	mgr.ObserveFreeMemory(currentFree) // feed periodically
+//	dec := mgr.ChooseFormat(strdict.ColumnStatsOf(col, lifetimeNs, 0.01, seed))
+//	col.Rebuild(dec.Format)
+package strdict
+
+import (
+	"strdict/internal/colstore"
+	"strdict/internal/core"
+	"strdict/internal/dict"
+	"strdict/internal/model"
+)
+
+// Format identifies one of the 18 dictionary variants.
+type Format = dict.Format
+
+// The dictionary formats of the paper's survey (Section 3.3).
+const (
+	Array       = dict.Array
+	ArrayBC     = dict.ArrayBC
+	ArrayHU     = dict.ArrayHU
+	ArrayNG2    = dict.ArrayNG2
+	ArrayNG3    = dict.ArrayNG3
+	ArrayRP12   = dict.ArrayRP12
+	ArrayRP16   = dict.ArrayRP16
+	ArrayFixed  = dict.ArrayFixed
+	FCBlock     = dict.FCBlock
+	FCBlockBC   = dict.FCBlockBC
+	FCBlockDF   = dict.FCBlockDF
+	FCBlockHU   = dict.FCBlockHU
+	FCBlockNG2  = dict.FCBlockNG2
+	FCBlockNG3  = dict.FCBlockNG3
+	FCBlockRP12 = dict.FCBlockRP12
+	FCBlockRP16 = dict.FCBlockRP16
+	FCInline    = dict.FCInline
+	ColumnBC    = dict.ColumnBC
+)
+
+// NumFormats is the number of dictionary variants.
+const NumFormats = dict.NumFormats
+
+// Dictionary is the read-only string dictionary interface (Definition 1):
+// Extract(id), Locate(str), Len, Bytes, Format.
+type Dictionary = dict.Dictionary
+
+// Build constructs a dictionary of the given format over strs, which must
+// be strictly ascending, unique and NUL-free.
+func Build(f Format, strs []string) (Dictionary, error) { return dict.Build(f, strs) }
+
+// AllFormats returns every format in declaration order.
+func AllFormats() []Format { return dict.AllFormats() }
+
+// ParseFormat converts a format name (e.g. "fc block rp 12") to its value.
+func ParseFormat(name string) (Format, error) { return dict.ParseFormat(name) }
+
+// CompressionRate computes the paper's Definition 2: summed string length
+// divided by dictionary size.
+func CompressionRate(d Dictionary, strs []string) float64 {
+	return dict.CompressionRate(d, strs)
+}
+
+// Sample carries the sampled properties the size models consume.
+type Sample = model.Sample
+
+// TakeSample draws a uniform sample of about ratio*len(strs) strings (at
+// least 5000, the paper's production floor) plus aligned blocks for the
+// block-based formats.
+func TakeSample(strs []string, ratio float64, seed int64) *Sample {
+	return model.TakeSample(strs, ratio, seed)
+}
+
+// EstimateSize predicts Build(f, column).Bytes() from a sample without
+// building the dictionary (Section 4.2).
+func EstimateSize(f Format, s *Sample) uint64 { return model.EstimateSize(f, s) }
+
+// CostTable holds per-format runtime constants (Section 4.1).
+type CostTable = model.CostTable
+
+// DefaultCostTable returns runtime constants measured on the reference
+// machine; Calibrate re-measures them on the current hardware.
+func DefaultCostTable() *CostTable { return model.DefaultCostTable() }
+
+// Calibrate determines runtime constants with microbenchmarks over the
+// given corpora (sorted unique string sets of a few thousand entries).
+func Calibrate(corpora [][]string) *CostTable { return model.Calibrate(corpora) }
+
+// Manager is the compression manager (Section 5): it owns the global
+// trade-off parameter c and selects formats at dictionary-rebuild time.
+type Manager = core.Manager
+
+// ManagerOptions configures a Manager.
+type ManagerOptions = core.Options
+
+// NewManager returns a compression manager.
+func NewManager(opts ManagerOptions) *Manager { return core.NewManager(opts) }
+
+// ColumnStats is the manager's per-column input.
+type ColumnStats = core.ColumnStats
+
+// Candidate is one format's predicted position in the space/time plane.
+type Candidate = core.Candidate
+
+// Decision records a format choice.
+type Decision = core.Decision
+
+// Strategy selects the dividing function of Section 5.4.
+type Strategy = core.Strategy
+
+// The trade-off selection strategies.
+const (
+	StrategyConst = core.StrategyConst
+	StrategyRel   = core.StrategyRel
+	StrategyTilt  = core.StrategyTilt
+)
+
+// Candidates evaluates every format for a column.
+func Candidates(stats ColumnStats, costs *CostTable) []Candidate {
+	return core.Candidates(stats, costs)
+}
+
+// Select applies a strategy with trade-off parameter c to candidates.
+func Select(strategy Strategy, c float64, cands []Candidate) Candidate {
+	return core.Select(strategy, c, cands)
+}
+
+// Store is an in-memory column store: tables of dictionary-encoded string
+// columns and plain numeric columns.
+type Store = colstore.Store
+
+// Table is a set of equally-long columns.
+type Table = colstore.Table
+
+// StringColumn is a dictionary-encoded string column with main and delta
+// parts.
+type StringColumn = colstore.StringColumn
+
+// Int64Column is a plain numeric column.
+type Int64Column = colstore.Int64Column
+
+// Float64Column is a plain float column.
+type Float64Column = colstore.Float64Column
+
+// NewStore returns an empty store.
+func NewStore() *Store { return colstore.NewStore() }
+
+// ColumnStatsOf assembles the manager's input for a column from its traced
+// access counters, lifetime, and a dictionary sample.
+func ColumnStatsOf(c *StringColumn, lifetimeNs float64, sampleRatio float64, seed int64) ColumnStats {
+	st := c.Stats()
+	return ColumnStats{
+		Name:              c.Name(),
+		NumStrings:        uint64(c.DictLen()),
+		Extracts:          st.Extracts,
+		Locates:           st.Locates,
+		LifetimeNs:        lifetimeNs,
+		ColumnVectorBytes: c.VectorBytes(),
+		Sample:            model.TakeSample(c.DictValues(), sampleRatio, seed),
+	}
+}
+
+// Reconfigure asks the manager for a format for every string column of the
+// store and rebuilds the dictionaries accordingly, returning the chosen
+// format per column.
+func Reconfigure(s *Store, mgr *Manager, lifetimeNs float64, sampleRatio float64, seed int64) map[string]Format {
+	out := make(map[string]Format)
+	for _, c := range s.StringColumns() {
+		decision := mgr.ChooseFormat(ColumnStatsOf(c, lifetimeNs, sampleRatio, seed))
+		c.Rebuild(decision.Format)
+		out[c.Name()] = decision.Format
+	}
+	return out
+}
+
+// Marshal serializes a dictionary to its versioned binary form, suitable
+// for persisting the read-optimized store.
+func Marshal(d Dictionary) ([]byte, error) { return dict.Marshal(d) }
+
+// Unmarshal reconstructs a dictionary from Marshal's output. The input is
+// validated; corrupt bytes yield dict.ErrCorrupt rather than panics.
+func Unmarshal(data []byte) (Dictionary, error) { return dict.Unmarshal(data) }
+
+// MergeScheduler drives delta-to-main merges and tracks per-column merge
+// intervals (the lifetime that normalizes the manager's time dimension).
+type MergeScheduler = colstore.MergeScheduler
+
+// NewMergeScheduler returns a scheduler that merges a column once its delta
+// holds deltaRowThreshold rows. Set its Chooser to consult a Manager at
+// merge time.
+func NewMergeScheduler(s *Store, deltaRowThreshold int) *MergeScheduler {
+	return colstore.NewMergeScheduler(s, deltaRowThreshold)
+}
+
+// Advice summarizes the decision space for one column: the pareto-optimal
+// formats and the automatic selection across the trade-off range — the
+// DBA-facing tuning advisor of Section 4.3.
+type Advice = core.Advice
+
+// Advise evaluates every format for the column and summarizes the decision
+// space; cs lists the trade-off values to probe (nil for a default range).
+func Advise(stats ColumnStats, costs *CostTable, cs []float64) Advice {
+	return core.Advise(stats, costs, cs)
+}
