@@ -9,8 +9,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+
+	"strdict"
 
 	"strdict/internal/bitcomp"
 	"strdict/internal/datagen"
@@ -32,6 +35,7 @@ func figureWriter(name string) io.Writer {
 }
 
 func BenchmarkFigure1SystemStats(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range sysstat.Names() {
 			s := sysstat.Generate(name, 1)
@@ -43,6 +47,7 @@ func BenchmarkFigure1SystemStats(b *testing.B) {
 
 func BenchmarkFigure2MemoryShare(b *testing.B) {
 	s := sysstat.Generate("ERP System 1", 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.LargeDictMemoryShare(100_000)
@@ -55,6 +60,7 @@ func BenchmarkFigure2MemoryShare(b *testing.B) {
 
 func BenchmarkFigure3TradeoffSrc(b *testing.B) {
 	strs := datagen.Generate("src", 10000, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Survey(strs, 5000, 1)
@@ -64,6 +70,7 @@ func BenchmarkFigure3TradeoffSrc(b *testing.B) {
 }
 
 func BenchmarkFigure4BestCompression(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure4(io.Discard, 4000, 1)
 	}
@@ -71,6 +78,7 @@ func BenchmarkFigure4BestCompression(b *testing.B) {
 }
 
 func BenchmarkFigure5FastestExtract(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure5(io.Discard, 4000, 1)
 	}
@@ -78,6 +86,7 @@ func BenchmarkFigure5FastestExtract(b *testing.B) {
 }
 
 func BenchmarkFigure6PredictionError(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.PredictionErrors(6000, -1, 1)
 	}
@@ -85,6 +94,7 @@ func BenchmarkFigure6PredictionError(b *testing.B) {
 }
 
 func BenchmarkFigure9Selection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure9(io.Discard, 4000, 1, 0.5)
 	}
@@ -114,6 +124,7 @@ func sharedTPCH() *experiments.TPCHExperiment {
 
 func BenchmarkFigure10TPCHTradeoff(b *testing.B) {
 	e := sharedTPCH()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure10(figureWriter("fig10"), e)
@@ -122,9 +133,91 @@ func BenchmarkFigure10TPCHTradeoff(b *testing.B) {
 
 func BenchmarkFigure11FormatDistribution(b *testing.B) {
 	e := sharedTPCH()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure11(figureWriter("fig11"), e)
+	}
+}
+
+// BenchmarkParallelMerge measures the concurrent merge pipeline end to end:
+// a store of eight delta-heavy columns over different string distributions
+// is flushed through the merge scheduler, whose chooser runs the manager's
+// full 18-format evaluation per column (the Re-Pair probes being the long
+// pole). workers=1 is the serial baseline; the parallel variant fans columns
+// across the scheduler pool and dictionary builds across blocks. The
+// resulting per-column formats and dictionary bytes are verified identical
+// across worker counts once, before timing, so the speedup is measured on
+// provably equivalent work.
+func BenchmarkParallelMerge(b *testing.B) {
+	const rowsPerCol = 6000
+	distributions := []string{"url", "src", "engl", "mat", "asc", "1gram", "hash", "rand1"}
+	colRows := make([][]string, len(distributions))
+	for i, name := range distributions {
+		uniq := datagen.Generate(name, 3000, int64(i+1))
+		rows := make([]string, rowsPerCol)
+		for j := range rows {
+			rows[j] = uniq[(j*2654435761+i*7919)%len(uniq)]
+		}
+		colRows[i] = rows
+	}
+
+	// setup returns a store whose columns hold all rows in the delta, plus a
+	// scheduler configured for the given worker count; Flush is the timed
+	// unit of work.
+	setup := func(workers int) (*strdict.Store, *strdict.MergeScheduler) {
+		store := strdict.NewStore()
+		tbl := store.AddTable("bench")
+		for i := range colRows {
+			col := tbl.AddString(fmt.Sprintf("col%d", i), strdict.FCInline)
+			for _, v := range colRows[i] {
+				col.Append(v)
+			}
+		}
+		mgr := strdict.NewManager(strdict.ManagerOptions{DesiredFreeBytes: 1 << 30})
+		sched := strdict.NewMergeScheduler(store, 1)
+		sched.Parallelism = workers
+		sched.BuildParallelism = workers
+		sched.Chooser = func(c *strdict.StringColumn, lifetimeNs float64) strdict.Format {
+			return mgr.ChooseFormat(strdict.ColumnStatsOf(c, lifetimeNs, 1.0, 1)).Format
+		}
+		return store, sched
+	}
+
+	// On a multi-core machine the parallel variant uses every core; on a
+	// smaller one it still drives at least four workers so the pooled code
+	// path is what gets measured.
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers < 4 {
+		parWorkers = 4
+	}
+
+	serialStore, serialSched := setup(1)
+	serialSched.Flush()
+	parStore, parSched := setup(parWorkers)
+	parSched.Flush()
+	sCols, pCols := serialStore.StringColumns(), parStore.StringColumns()
+	for i := range sCols {
+		if sCols[i].Format() != pCols[i].Format() ||
+			sCols[i].DictBytes() != pCols[i].DictBytes() ||
+			sCols[i].VectorBytes() != pCols[i].VectorBytes() {
+			b.Fatalf("column %s diverged: serial %v/%d/%d, parallel %v/%d/%d",
+				sCols[i].Name(),
+				sCols[i].Format(), sCols[i].DictBytes(), sCols[i].VectorBytes(),
+				pCols[i].Format(), pCols[i].DictBytes(), pCols[i].VectorBytes())
+		}
+	}
+
+	for _, workers := range []int{1, parWorkers} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_, sched := setup(workers)
+				b.StartTimer()
+				sched.Flush()
+			}
+		})
 	}
 }
 

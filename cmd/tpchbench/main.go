@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"strdict/internal/experiments"
 )
@@ -29,6 +30,8 @@ func main() {
 	trace := flag.Int("trace", 2, "workload repetitions for the trace")
 	reps := flag.Int("reps", 3, "repetitions per configuration measurement")
 	sample := flag.Float64("sample", 0.01, "sampling ratio for the size models")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker pool for per-column format selection (1 = serial)")
 	flag.Parse()
 
 	cfg := experiments.TPCHConfig{
@@ -37,6 +40,7 @@ func main() {
 		TraceReps:   *trace,
 		MeasureReps: *reps,
 		SampleRatio: *sample,
+		Parallelism: *parallel,
 	}
 	e := experiments.NewTPCHExperiment(cfg)
 	switch *figure {

@@ -1,10 +1,14 @@
 // Adaptive: an end-to-end demonstration of the compression manager on a
 // small column store — two columns with opposite usage patterns, a memory
-// budget, and the feedback loop steering the trade-off parameter c.
+// budget, the feedback loop steering the trade-off parameter c, and the
+// concurrent merge pipeline: a merge scheduler whose worker pool merges due
+// columns in parallel and consults the manager at merge time, while the
+// columns stay readable throughout (snapshot-build-swap).
 package main
 
 import (
 	"fmt"
+	"runtime"
 
 	"strdict"
 )
@@ -18,11 +22,33 @@ func main() {
 	// A cold column: long session identifiers, mostly written and archived.
 	session := tbl.AddString("session_id", strdict.FCInline)
 
+	mgr := strdict.NewManager(strdict.ManagerOptions{
+		DesiredFreeBytes: 512 << 20,
+		Strategy:         strdict.StrategyTilt,
+	})
+
+	// The concurrent merge pipeline: due columns merge in parallel on a
+	// GOMAXPROCS-sized pool, each consulting the manager for its format at
+	// merge time; dictionary builds themselves fan out across blocks too.
+	sched := strdict.NewMergeScheduler(store, 20_000)
+	sched.Parallelism = runtime.GOMAXPROCS(0)
+	sched.BuildParallelism = runtime.GOMAXPROCS(0)
+	sched.Chooser = func(c *strdict.StringColumn, lifetimeNs float64) strdict.Format {
+		return mgr.ChooseFormat(strdict.ColumnStatsOf(c, lifetimeNs, 1.0, 1)).Format
+	}
+
 	for i := 0; i < 50_000; i++ {
 		status.Append([]string{"OK", "RETRY", "FAILED", "TIMEOUT", "DROPPED"}[i%5])
 		session.Append(fmt.Sprintf("sess-%08x-%08x", i*2654435761, i))
+		// Ingest and merge interleave; readers would keep running while the
+		// pool merges (see the colstore stress test).
+		if i%10_000 == 9_999 {
+			if merged := sched.Tick(); len(merged) > 0 {
+				fmt.Printf("merged in parallel: %v\n", merged)
+			}
+		}
 	}
-	tbl.MergeAll()
+	sched.Flush()
 	store.ResetStats()
 
 	// Trace a workload: the status column is read constantly, the session
@@ -34,21 +60,17 @@ func main() {
 		_ = session.Get(i * 997 % session.Len())
 	}
 
-	mgr := strdict.NewManager(strdict.ManagerOptions{
-		DesiredFreeBytes: 512 << 20,
-		Strategy:         strdict.StrategyTilt,
-	})
-
 	// Simulate memory pressure: the feedback loop lowers c, which makes the
 	// manager favour compression.
-	fmt.Println("feeding low free-memory observations...")
+	fmt.Println("\nfeeding low free-memory observations...")
 	for i := 0; i < 15; i++ {
 		mgr.ObserveFreeMemory(128 << 20)
 	}
 	fmt.Printf("c after pressure: %.4f\n", mgr.C())
 
 	lifetime := 60e9 // one minute between merges
-	cfg := strdict.Reconfigure(store, mgr, lifetime, 1.0, 1)
+	workers := runtime.GOMAXPROCS(0)
+	cfg := strdict.ReconfigureParallel(store, mgr, lifetime, 1.0, 1, workers)
 	fmt.Println("\nchosen formats under memory pressure:")
 	for col, f := range cfg {
 		fmt.Printf("  %-18s -> %s\n", col, f)
@@ -63,7 +85,7 @@ func main() {
 	}
 	fmt.Printf("c after recovery: %.4f\n", mgr.C())
 
-	cfg = strdict.Reconfigure(store, mgr, lifetime, 1.0, 1)
+	cfg = strdict.ReconfigureParallel(store, mgr, lifetime, 1.0, 1, workers)
 	fmt.Println("\nchosen formats with plenty of memory:")
 	for col, f := range cfg {
 		fmt.Printf("  %-18s -> %s\n", col, f)

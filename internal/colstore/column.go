@@ -7,11 +7,25 @@
 //
 // Every dictionary access is counted, so a traced workload yields the
 // extract/locate statistics the compression manager's time model needs.
+//
+// # Concurrency
+//
+// StringColumn is safe for concurrent use: readers (Get, Locate, ScanEq, …)
+// and writers (Append) synchronize on a per-column RWMutex, and Merge and
+// Rebuild follow a snapshot-build-swap protocol — the new dictionary and
+// re-encoded code vector are built off to the side against an immutable
+// snapshot of main+delta, and the column only takes its write lock for the
+// final pointer swap. Readers are therefore never blocked for the duration
+// of a dictionary build, only for the O(leftover-delta) swap itself. Rows
+// appended while a merge is in flight stay in the delta across the swap.
+// Table and Store DDL (AddTable, AddString, …) is not goroutine-safe and
+// must complete before concurrent access starts.
 package colstore
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"strdict/internal/dict"
@@ -25,11 +39,30 @@ type AccessStats struct {
 	Locates  uint64
 }
 
+// MergeOptions tunes a merge's dictionary reconstruction.
+type MergeOptions struct {
+	// BuildParallelism is passed through to dict.BuildOptions: the number of
+	// goroutines encoding independent dictionary parts during the rebuild.
+	// <= 1 builds serially; the resulting dictionary is bit-identical.
+	BuildParallelism int
+}
+
 // StringColumn is a dictionary-encoded string column: the main part holds a
 // read-only dictionary in one of the 18 formats plus a bit-packed vector of
 // value IDs; the delta part absorbs appends until the next merge.
+//
+// All exported methods are safe for concurrent use. The dictionary and code
+// vector behind mu are immutable once published, so Merge can build a
+// replacement without blocking readers (see the package comment).
 type StringColumn struct {
 	name string
+
+	// mu guards every field below it. Readers take the read lock; Append and
+	// the merge swap take the write lock. The structures themselves (dict,
+	// codes) are immutable once published, and delta slices are append-only,
+	// so a merge can snapshot them under the read lock and build off to the
+	// side.
+	mu sync.RWMutex
 
 	// Read-optimized main part. The code vector is integer-compressed
 	// (bit-packed or run-length encoded, whichever is smaller), per the
@@ -42,6 +75,11 @@ type StringColumn struct {
 	deltaVals  []string          // delta code -> value, insertion order
 	deltaIndex map[string]uint32 // value -> delta code
 	deltaRows  []uint32          // per delta row: delta code
+
+	// mergeMu serializes Merge/Rebuild against each other, so two concurrent
+	// maintenance calls cannot interleave their snapshot and swap phases.
+	// Readers and writers never touch it.
+	mergeMu sync.Mutex
 
 	extracts atomic.Uint64
 	locates  atomic.Uint64
@@ -62,16 +100,30 @@ func NewStringColumn(name string, format dict.Format) *StringColumn {
 func (c *StringColumn) Name() string { return c.name }
 
 // Len returns the number of rows (main + delta).
-func (c *StringColumn) Len() int { return c.nMain + len(c.deltaRows) }
+func (c *StringColumn) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nMain + len(c.deltaRows)
+}
 
 // DictLen returns the number of distinct values in the main dictionary.
-func (c *StringColumn) DictLen() int { return c.dict.Len() }
+func (c *StringColumn) DictLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dict.Len()
+}
 
 // Format returns the main dictionary's format.
-func (c *StringColumn) Format() dict.Format { return c.dict.Format() }
+func (c *StringColumn) Format() dict.Format {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dict.Format()
+}
 
 // Append adds a value to the write-optimized delta part.
 func (c *StringColumn) Append(value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	code, ok := c.deltaIndex[value]
 	if !ok {
 		code = uint32(len(c.deltaVals))
@@ -84,6 +136,8 @@ func (c *StringColumn) Append(value string) {
 // Get returns the value at the given row, reading the main part through the
 // dictionary (counted as an extract).
 func (c *StringColumn) Get(row int) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if row < c.nMain {
 		c.extracts.Add(1)
 		return c.dict.Extract(uint32(c.codes.Get(row)))
@@ -93,6 +147,8 @@ func (c *StringColumn) Get(row int) string {
 
 // AppendGet appends the value at row to dst (allocation-free main-part read).
 func (c *StringColumn) AppendGet(dst []byte, row int) []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if row < c.nMain {
 		c.extracts.Add(1)
 		return c.dict.AppendExtract(dst, uint32(c.codes.Get(row)))
@@ -103,7 +159,13 @@ func (c *StringColumn) AppendGet(dst []byte, row int) []byte {
 // Code returns the main-part value ID at a row; rows in the delta return
 // ok == false. Query operators compare codes instead of strings wherever
 // possible — the core benefit of domain encoding.
+//
+// Note that value IDs are only stable between merges: correlate a Code with
+// other main-part reads within one merge-free window (a query that needs a
+// consistent cross-call view should run on a quiesced scheduler).
 func (c *StringColumn) Code(row int) (uint32, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if row < c.nMain {
 		return uint32(c.codes.Get(row)), true
 	}
@@ -113,34 +175,48 @@ func (c *StringColumn) Code(row int) (uint32, bool) {
 // Locate returns the value ID of value in the main dictionary (counted as a
 // locate), with the Definition 1 semantics.
 func (c *StringColumn) Locate(value string) (uint32, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	c.locates.Add(1)
 	return c.dict.Locate(value)
 }
 
 // Extract returns the string for a main-dictionary value ID (counted).
 func (c *StringColumn) Extract(id uint32) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	c.extracts.Add(1)
 	return c.dict.Extract(id)
 }
 
 // AppendExtract is the allocation-free variant of Extract (counted).
 func (c *StringColumn) AppendExtract(dst []byte, id uint32) []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	c.extracts.Add(1)
 	return c.dict.AppendExtract(dst, id)
 }
 
 // CodeRange translates a string range [lo, hi) into a value-ID range
 // [loID, hiID) — valid because every dictionary format is order-preserving.
-// Two locates are counted.
+// Two locates are counted. The pair is resolved against one dictionary
+// snapshot, so a concurrent merge cannot tear it.
 func (c *StringColumn) CodeRange(lo, hi string) (uint32, uint32) {
-	loID, _ := c.Locate(lo)
-	hiID, _ := c.Locate(hi)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.locates.Add(2)
+	loID, _ := c.dict.Locate(lo)
+	hiID, _ := c.dict.Locate(hi)
 	return loID, hiID
 }
 
-// ScanEq appends to out the rows whose value equals v.
+// ScanEq appends to out the rows whose value equals v. The whole scan runs
+// against one consistent column snapshot.
 func (c *StringColumn) ScanEq(v string, out []int) []int {
-	if id, found := c.Locate(v); found {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.locates.Add(1)
+	if id, found := c.dict.Locate(v); found {
 		for row := 0; row < c.nMain; row++ {
 			if uint32(c.codes.Get(row)) == id {
 				out = append(out, row)
@@ -172,23 +248,70 @@ func (c *StringColumn) ResetStats() {
 // It bypasses the access counters: it is maintenance machinery (merge,
 // sampling), not query work.
 func (c *StringColumn) DictValues() []string {
-	out := make([]string, c.dict.Len())
-	c.dict.ForEach(func(id uint32, value []byte) bool {
+	c.mu.RLock()
+	d := c.dict
+	c.mu.RUnlock()
+	return dictValuesOf(d)
+}
+
+// dictValuesOf walks an (immutable) dictionary outside any lock.
+func dictValuesOf(d dict.Dictionary) []string {
+	out := make([]string, d.Len())
+	d.ForEach(func(id uint32, value []byte) bool {
 		out[id] = string(value)
 		return true
 	})
 	return out
 }
 
+// columnSnapshot is the immutable view a merge builds against: the published
+// main part plus the delta prefix existing at snapshot time. Delta slices
+// are append-only, so capturing their lengths pins a consistent prefix even
+// while writers keep appending.
+type columnSnapshot struct {
+	dict      dict.Dictionary
+	codes     intcomp.Vector
+	nMain     int
+	deltaVals []string
+	deltaRows []uint32
+}
+
+// snapshot captures the current column state under the read lock.
+func (c *StringColumn) snapshot() columnSnapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return columnSnapshot{
+		dict:      c.dict,
+		codes:     c.codes,
+		nMain:     c.nMain,
+		deltaVals: c.deltaVals[:len(c.deltaVals):len(c.deltaVals)],
+		deltaRows: c.deltaRows[:len(c.deltaRows):len(c.deltaRows)],
+	}
+}
+
 // Merge folds the delta part into the main part, rebuilding the dictionary
 // in the given format. This is the reconstruction point where the
 // compression manager's decision is applied for free.
 func (c *StringColumn) Merge(format dict.Format) {
-	oldVals := c.DictValues()
+	c.MergeWithOptions(format, MergeOptions{})
+}
+
+// MergeWithOptions is Merge with construction tuning. The merge runs
+// off-to-the-side: it snapshots main+delta, builds the merged dictionary and
+// re-encoded code vector without holding any column lock, then publishes the
+// result with a brief write-locked swap. Rows appended during the build
+// survive in the delta; with no concurrent appends the result is identical
+// to the serial merge.
+func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) {
+	c.mergeMu.Lock()
+	defer c.mergeMu.Unlock()
+
+	snap := c.snapshot()
+	oldVals := dictValuesOf(snap.dict)
 
 	// Union of old dictionary and distinct delta values.
-	merged := make([]string, 0, len(oldVals)+len(c.deltaVals))
-	newDelta := append([]string(nil), c.deltaVals...)
+	merged := make([]string, 0, len(oldVals)+len(snap.deltaVals))
+	newDelta := append([]string(nil), snap.deltaVals...)
 	sort.Strings(newDelta)
 	i, j := 0, 0
 	for i < len(oldVals) || j < len(newDelta) {
@@ -219,47 +342,98 @@ func (c *StringColumn) Merge(format dict.Format) {
 	for oi, v := range oldVals {
 		oldToNew[oi] = uint32(sort.SearchStrings(merged, v))
 	}
-	deltaToNew := make([]uint32, len(c.deltaVals))
-	for di, v := range c.deltaVals {
+	deltaToNew := make([]uint32, len(snap.deltaVals))
+	for di, v := range snap.deltaVals {
 		deltaToNew[di] = uint32(sort.SearchStrings(merged, v))
 	}
 
-	n := c.Len()
+	n := snap.nMain + len(snap.deltaRows)
 	newCodes := make([]uint64, n)
-	for row := 0; row < c.nMain; row++ {
-		newCodes[row] = uint64(oldToNew[c.codes.Get(row)])
+	for row := 0; row < snap.nMain; row++ {
+		newCodes[row] = uint64(oldToNew[snap.codes.Get(row)])
 	}
-	for i, dc := range c.deltaRows {
-		newCodes[c.nMain+i] = uint64(deltaToNew[dc])
+	for i, dc := range snap.deltaRows {
+		newCodes[snap.nMain+i] = uint64(deltaToNew[dc])
 	}
 
-	c.dict = dict.BuildUnchecked(format, merged)
-	c.codes = intcomp.PackAuto(newCodes)
+	// The expensive part, off to the side: no reader or writer is blocked.
+	newDict := dict.BuildUncheckedWithOptions(format, merged,
+		dict.BuildOptions{Parallelism: opts.BuildParallelism})
+	newVec := intcomp.PackAuto(newCodes)
+
+	// Publish. Rows appended since the snapshot keep their positions after
+	// the new main part; their values are re-interned into a fresh delta so
+	// the delta again holds only unmerged data.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tail := c.deltaRows[len(snap.deltaRows):]
+	freshVals := make([]string, 0, len(tail))
+	freshIndex := make(map[string]uint32, len(tail))
+	freshRows := make([]uint32, 0, len(tail))
+	for _, dc := range tail {
+		v := c.deltaVals[dc]
+		code, ok := freshIndex[v]
+		if !ok {
+			code = uint32(len(freshVals))
+			freshVals = append(freshVals, v)
+			freshIndex[v] = code
+		}
+		freshRows = append(freshRows, code)
+	}
+	c.dict = newDict
+	c.codes = newVec
 	c.nMain = n
-	c.deltaVals = nil
-	c.deltaRows = nil
-	c.deltaIndex = make(map[string]uint32)
+	c.deltaVals = freshVals
+	c.deltaIndex = freshIndex
+	c.deltaRows = freshRows
 }
 
 // Rebuild reconstructs the main dictionary in a new format without touching
 // the delta (used when reconfiguring an already-merged store; code IDs are
-// unchanged because all formats are order-preserving).
+// unchanged because all formats are order-preserving). Like Merge, the build
+// happens against an immutable snapshot with only the swap write-locked.
 func (c *StringColumn) Rebuild(format dict.Format) {
-	if format == c.dict.Format() {
+	c.RebuildWithOptions(format, MergeOptions{})
+}
+
+// RebuildWithOptions is Rebuild with construction tuning.
+func (c *StringColumn) RebuildWithOptions(format dict.Format, opts MergeOptions) {
+	c.mergeMu.Lock()
+	defer c.mergeMu.Unlock()
+
+	c.mu.RLock()
+	old := c.dict
+	c.mu.RUnlock()
+	if format == old.Format() {
 		return
 	}
-	c.dict = dict.BuildUnchecked(format, c.DictValues())
+	newDict := dict.BuildUncheckedWithOptions(format, dictValuesOf(old),
+		dict.BuildOptions{Parallelism: opts.BuildParallelism})
+
+	c.mu.Lock()
+	c.dict = newDict
+	c.mu.Unlock()
 }
 
 // DictBytes returns the main dictionary's memory footprint.
-func (c *StringColumn) DictBytes() uint64 { return c.dict.Bytes() }
+func (c *StringColumn) DictBytes() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dict.Bytes()
+}
 
 // VectorBytes returns the code vector's memory footprint.
-func (c *StringColumn) VectorBytes() uint64 { return c.codes.Bytes() }
+func (c *StringColumn) VectorBytes() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.codes.Bytes()
+}
 
 // Bytes returns the column's total footprint: dictionary, code vector, and
 // delta structures.
 func (c *StringColumn) Bytes() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var delta uint64
 	for _, v := range c.deltaVals {
 		delta += uint64(len(v)) + 16 + 8 // payload + header + map entry

@@ -1,6 +1,9 @@
 package colstore
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"strdict/internal/dict"
@@ -13,18 +16,40 @@ import (
 // when a column's delta exceeds the threshold, and tracks each column's
 // observed merge interval — the lifetime(d) that normalizes the manager's
 // time dimension.
+//
+// Due columns merge concurrently on a bounded worker pool (Parallelism
+// workers, GOMAXPROCS by default); each column's merge follows the
+// snapshot-build-swap protocol of StringColumn, so queries keep running
+// against the old state until the swap. The Chooser is invoked from pool
+// workers and must therefore be safe for concurrent use (core.Manager is).
+// Tick and Flush themselves are serialized against each other internally;
+// interval bookkeeping is lock-protected and may be read concurrently via
+// LifetimeNs.
 type MergeScheduler struct {
 	store *Store
 	// DeltaRowThreshold triggers a merge once a column's delta holds at
 	// least this many rows.
 	DeltaRowThreshold int
 	// Chooser decides the format at merge time; nil keeps each column's
-	// current format (fixed-format operation).
+	// current format (fixed-format operation). It runs on pool workers, so
+	// it must be goroutine-safe when Parallelism != 1.
 	Chooser func(c *StringColumn, lifetimeNs float64) dict.Format
+	// Parallelism bounds the worker pool merging due columns; 0 means
+	// GOMAXPROCS, 1 restores the serial path.
+	Parallelism int
+	// BuildParallelism is handed to each column merge's dictionary build
+	// (dict.BuildOptions.Parallelism); <= 1 builds each dictionary serially.
+	BuildParallelism int
 
+	// tickMu serializes Tick/Flush invocations so two overlapping calls
+	// cannot dispatch the same column to two workers.
+	tickMu sync.Mutex
+
+	mu           sync.Mutex // guards the interval maps below
 	lastMerge    map[string]time.Time
 	lastInterval map[string]time.Duration
-	now          func() time.Time // injectable clock for tests
+
+	now func() time.Time // injectable clock for tests
 }
 
 // NewMergeScheduler returns a scheduler over the store's string columns.
@@ -41,6 +66,8 @@ func NewMergeScheduler(s *Store, deltaRowThreshold int) *MergeScheduler {
 // LifetimeNs returns the column's last observed merge interval in
 // nanoseconds, or the fallback if it has not merged twice yet.
 func (m *MergeScheduler) LifetimeNs(col string, fallback float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if iv, ok := m.lastInterval[col]; ok && iv > 0 {
 		return float64(iv)
 	}
@@ -48,49 +75,100 @@ func (m *MergeScheduler) LifetimeNs(col string, fallback float64) float64 {
 }
 
 // DeltaRows returns the number of delta rows of a column.
-func (c *StringColumn) DeltaRows() int { return len(c.deltaRows) }
+func (c *StringColumn) DeltaRows() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.deltaRows)
+}
 
 // Tick checks every string column and merges those whose delta crossed the
-// threshold, consulting the Chooser for the new format. It returns the
-// names of the merged columns.
+// threshold, consulting the Chooser for the new format. Due columns merge
+// in parallel on the scheduler's worker pool. It returns the names of the
+// merged columns in store order.
 func (m *MergeScheduler) Tick() []string {
-	var merged []string
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	var due []*StringColumn
 	for _, c := range m.store.StringColumns() {
-		if c.DeltaRows() < m.DeltaRowThreshold {
-			continue
+		if c.DeltaRows() >= m.DeltaRowThreshold {
+			due = append(due, c)
 		}
-		m.mergeColumn(c)
-		merged = append(merged, c.Name())
 	}
-	return merged
+	return m.mergeColumns(due)
 }
 
 // Flush merges every column that has any delta rows, regardless of the
 // threshold (shutdown / checkpoint path).
 func (m *MergeScheduler) Flush() []string {
-	var merged []string
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	var due []*StringColumn
 	for _, c := range m.store.StringColumns() {
-		if c.DeltaRows() == 0 {
-			continue
+		if c.DeltaRows() > 0 {
+			due = append(due, c)
 		}
-		m.mergeColumn(c)
-		merged = append(merged, c.Name())
 	}
-	return merged
+	return m.mergeColumns(due)
+}
+
+// mergeColumns merges the due columns on a bounded worker pool and returns
+// their names in dispatch order (matching the serial path's output).
+func (m *MergeScheduler) mergeColumns(due []*StringColumn) []string {
+	if len(due) == 0 {
+		return nil
+	}
+	workers := m.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(due) {
+		workers = len(due)
+	}
+
+	if workers <= 1 {
+		for _, c := range due {
+			m.mergeColumn(c)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(due) {
+						return
+					}
+					m.mergeColumn(due[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	names := make([]string, len(due))
+	for i, c := range due {
+		names[i] = c.Name()
+	}
+	return names
 }
 
 func (m *MergeScheduler) mergeColumn(c *StringColumn) {
 	now := m.now()
 	name := c.Name()
+	m.mu.Lock()
 	if prev, ok := m.lastMerge[name]; ok {
 		m.lastInterval[name] = now.Sub(prev)
 	}
 	m.lastMerge[name] = now
+	m.mu.Unlock()
 
 	format := c.Format()
 	if m.Chooser != nil {
 		lifetime := m.LifetimeNs(name, float64(time.Minute))
 		format = m.Chooser(c, lifetime)
 	}
-	c.Merge(format)
+	c.MergeWithOptions(format, MergeOptions{BuildParallelism: m.BuildParallelism})
 }

@@ -30,7 +30,9 @@ func TranslateCodes(src, dst *StringColumn) []int64 {
 // repeated values the last row wins. It reads only the code vector, no
 // dictionary operations.
 func (c *StringColumn) RowIndexByCode() []int32 {
-	idx := make([]int32, c.DictLen())
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	idx := make([]int32, c.dict.Len())
 	for i := range idx {
 		idx[i] = -1
 	}
@@ -43,7 +45,9 @@ func (c *StringColumn) RowIndexByCode() []int32 {
 // RowsByCode groups the main-part rows by value ID. It reads only the code
 // vector.
 func (c *StringColumn) RowsByCode() [][]int32 {
-	out := make([][]int32, c.DictLen())
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([][]int32, c.dict.Len())
 	for row := 0; row < c.nMain; row++ {
 		code := c.codes.Get(row)
 		out[code] = append(out[code], int32(row))

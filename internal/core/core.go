@@ -15,6 +15,16 @@
 // memory. Every time a dictionary is rebuilt (at merge time), a selection
 // strategy uses the current c to pick a format from the candidates, so the
 // automatic selection adds almost no overhead.
+//
+// # Concurrency
+//
+// Manager is safe for concurrent use: the trade-off parameter and its
+// feedback-loop state live behind a mutex, so merge workers may call
+// ChooseFormat while another goroutine feeds ObserveFreeMemory. Batch
+// selection over many columns fans out with ChooseFormats, and a single
+// column's 18 size models fan out with ChooseFormatParallel /
+// CandidatesParallel; both are deterministic — parallelism changes
+// scheduling, never the decision.
 package core
 
 import (
@@ -22,6 +32,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"strdict/internal/dict"
 	"strdict/internal/model"
@@ -63,19 +74,28 @@ type Candidate struct {
 // models predict dict_size, the cost table supplies the runtime constants.
 // The result is sorted by RelTime ascending.
 func Candidates(stats ColumnStats, costs *model.CostTable) []Candidate {
+	return CandidatesParallel(stats, costs, 1)
+}
+
+// CandidatesParallel is Candidates with the 18 per-format size models fanned
+// out across a bounded worker pool (parallelism <= 1 is serial). The models
+// are independent — the Re-Pair probe, the long pole, runs alongside the
+// cheap closed formulas instead of after them — and the returned slice is
+// identical to the serial evaluation.
+func CandidatesParallel(stats ColumnStats, costs *model.CostTable, parallelism int) []Candidate {
 	if stats.Sample == nil {
 		panic("core: ColumnStats.Sample must be set")
 	}
 	if stats.LifetimeNs <= 0 {
 		stats.LifetimeNs = 1
 	}
+	sizes := model.EstimateEach(stats.Sample, parallelism)
 	out := make([]Candidate, 0, dict.NumFormats)
 	for _, f := range dict.AllFormats() {
-		size := model.EstimateSize(f, stats.Sample) + stats.ColumnVectorBytes
 		t := costs.TimeNs(f, stats.Extracts, stats.Locates, stats.NumStrings)
 		out = append(out, Candidate{
 			Format:    f,
-			SizeBytes: size,
+			SizeBytes: sizes[f] + stats.ColumnVectorBytes,
 			RelTime:   t / stats.LifetimeNs,
 		})
 	}
@@ -350,7 +370,14 @@ type Decision struct {
 // column's dictionary is rebuilt (merge of the write-optimized store, aging,
 // initial load), so the format change costs no extra reconstruction.
 func (m *Manager) ChooseFormat(stats ColumnStats) Decision {
-	cands := Candidates(stats, m.opts.Costs)
+	return m.ChooseFormatParallel(stats, 1)
+}
+
+// ChooseFormatParallel is ChooseFormat with the per-format size models
+// evaluated on a bounded worker pool (CandidatesParallel). Selection inputs
+// and output are identical to the serial path.
+func (m *Manager) ChooseFormatParallel(stats ColumnStats, parallelism int) Decision {
+	cands := CandidatesParallel(stats, m.opts.Costs, parallelism)
 	c := m.C()
 	chosen := Select(m.opts.Strategy, c, cands)
 	return Decision{
@@ -359,4 +386,53 @@ func (m *Manager) ChooseFormat(stats ColumnStats) Decision {
 		Strategy:   m.opts.Strategy,
 		Candidates: cands,
 	}
+}
+
+// ChooseFormats runs the per-column selection for a batch of columns
+// concurrently on a bounded worker pool (parallelism <= 1 is serial,
+// 0 or negative values included). The global trade-off parameter is read
+// once, so every decision of the batch sees the same c even while the
+// feedback loop keeps running; results are returned in input order and are
+// identical to calling ChooseFormat per column under a frozen c.
+func (m *Manager) ChooseFormats(stats []ColumnStats, parallelism int) []Decision {
+	c := m.C()
+	decide := func(i int) Decision {
+		cands := Candidates(stats[i], m.opts.Costs)
+		chosen := Select(m.opts.Strategy, c, cands)
+		return Decision{
+			Format:     chosen.Format,
+			C:          c,
+			Strategy:   m.opts.Strategy,
+			Candidates: cands,
+		}
+	}
+
+	out := make([]Decision, len(stats))
+	workers := parallelism
+	if workers > len(stats) {
+		workers = len(stats)
+	}
+	if workers <= 1 {
+		for i := range stats {
+			out[i] = decide(i)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(stats) {
+					return
+				}
+				out[i] = decide(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }

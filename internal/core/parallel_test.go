@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"strdict/internal/model"
+)
+
+func parallelTestStats(cols int) []ColumnStats {
+	out := make([]ColumnStats, cols)
+	for k := range out {
+		strs := make([]string, 1500)
+		for i := range strs {
+			strs[i] = fmt.Sprintf("col%d/value-%06d-%04x", k, i, uint32(i*(k+3))%1500)
+		}
+		out[k] = ColumnStats{
+			Name:              fmt.Sprintf("c%d", k),
+			NumStrings:        uint64(len(strs)),
+			Extracts:          uint64(1000 * (k + 1)),
+			Locates:           uint64(100 * (cols - k)),
+			LifetimeNs:        60e9,
+			ColumnVectorBytes: 4096,
+			Sample:            model.TakeSample(strs, 1.0, 1),
+		}
+	}
+	return out
+}
+
+// TestCandidatesParallelIdentical asserts the parallel per-format evaluation
+// returns exactly the serial candidate list.
+func TestCandidatesParallelIdentical(t *testing.T) {
+	stats := parallelTestStats(1)[0]
+	costs := model.DefaultCostTable()
+	serial := Candidates(stats, costs)
+	parallel := CandidatesParallel(stats, costs, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("len %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("candidate %d: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestChooseFormatsMatchesSequential asserts batched concurrent selection
+// decides exactly what per-column sequential selection decides.
+func TestChooseFormatsMatchesSequential(t *testing.T) {
+	stats := parallelTestStats(6)
+	mgr := NewManager(Options{DesiredFreeBytes: 1 << 30})
+	mgr.SetC(0.5)
+
+	want := make([]Decision, len(stats))
+	for i := range stats {
+		want[i] = mgr.ChooseFormat(stats[i])
+	}
+	got := mgr.ChooseFormats(stats, 4)
+	for i := range stats {
+		if got[i].Format != want[i].Format || got[i].C != want[i].C {
+			t.Fatalf("column %d: got %s (c=%g), want %s (c=%g)",
+				i, got[i].Format, got[i].C, want[i].Format, want[i].C)
+		}
+	}
+}
+
+// TestManagerConcurrentFeedbackAndSelection exercises the shared-state
+// contract: merge workers select formats while the feedback loop adjusts c.
+// Run under -race this pins the Manager's goroutine safety.
+func TestManagerConcurrentFeedbackAndSelection(t *testing.T) {
+	stats := parallelTestStats(2)
+	mgr := NewManager(Options{DesiredFreeBytes: 1 << 30})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			mgr.ObserveFreeMemory(uint64(i%3) << 29)
+		}
+	}()
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				d := mgr.ChooseFormat(stats[w])
+				if d.C <= 0 {
+					t.Errorf("non-positive c %g", d.C)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -16,12 +16,12 @@ type arrayDict struct {
 	c       codec
 }
 
-func newArrayDict(f Format, strs []string) *arrayDict {
+func newArrayDict(f Format, strs []string, opts BuildOptions) *arrayDict {
 	parts := make([][]byte, len(strs))
 	for i, s := range strs {
 		parts[i] = []byte(s)
 	}
-	c, encs := buildCodec(f.Scheme(), parts, true)
+	c, encs := buildCodec(f.Scheme(), parts, true, opts.Parallelism)
 
 	var total int
 	for _, e := range encs {

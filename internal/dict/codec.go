@@ -147,67 +147,58 @@ func (w repairCodec) decodeNext(dst, enc []byte) ([]byte, int) {
 }
 func (w repairCodec) tableBytes() uint64 { return w.g.TableBytes() }
 
-// buildCodec trains the scheme's model on parts and returns the codec along
-// with the byte-aligned encoded form of every part, in order.
+// partEncoder produces the byte-aligned encoded form of part i. Encoders
+// close over an immutable trained codec and own no shared mutable state, so
+// distinct indices may be encoded concurrently; the result depends only on i.
+type partEncoder func(i int) []byte
+
+// trainCodec trains the scheme's model on all parts (inherently serial — the
+// model must see the whole corpus) and returns the codec plus an encoder for
+// individual parts.
 //
 // orderPreserving selects Hu-Tucker (order-preserving, slightly larger) over
 // Huffman for SchemeHU: array dictionaries want it so locate can compare in
 // the encoded domain; front-coded suffixes are walked decoded, so they take
 // the better-compressing Huffman code instead.
-func buildCodec(s Scheme, parts [][]byte, orderPreserving bool) (codec, [][]byte) {
+func trainCodec(s Scheme, parts [][]byte, orderPreserving bool) (codec, partEncoder) {
 	switch s {
 	case SchemeNone:
 		c := rawCodec{}
-		encs := make([][]byte, len(parts))
-		for i, p := range parts {
-			encs[i] = c.encodeProbe(nil, p)
-		}
-		return c, encs
+		return c, func(i int) []byte { return c.encodeProbe(nil, parts[i]) }
 	case SchemeBC:
 		c := bitcomp.Train(parts)
-		encs := make([][]byte, len(parts))
-		for i, p := range parts {
-			encs[i] = c.Encode(nil, p)
-		}
-		return bcCodec{c}, encs
+		return bcCodec{c}, func(i int) []byte { return c.Encode(nil, parts[i]) }
 	case SchemeHU:
 		if orderPreserving {
 			c := hutucker.Train(parts)
-			encs := make([][]byte, len(parts))
-			for i, p := range parts {
-				encs[i] = c.Encode(nil, p)
-			}
-			return huTuckerCodec{c}, encs
+			return huTuckerCodec{c}, func(i int) []byte { return c.Encode(nil, parts[i]) }
 		}
 		c := huffman.Train(parts)
-		encs := make([][]byte, len(parts))
-		for i, p := range parts {
-			encs[i] = c.Encode(nil, p)
-		}
-		return huffmanCodec{c}, encs
+		return huffmanCodec{c}, func(i int) []byte { return c.Encode(nil, parts[i]) }
 	case SchemeNG2, SchemeNG3:
 		n := 2
 		if s == SchemeNG3 {
 			n = 3
 		}
 		c := ngram.Train(n, parts)
-		encs := make([][]byte, len(parts))
-		for i, p := range parts {
-			encs[i] = c.Encode(nil, p)
-		}
-		return ngramCodec{c}, encs
+		return ngramCodec{c}, func(i int) []byte { return c.Encode(nil, parts[i]) }
 	case SchemeRP12, SchemeRP16:
 		width := uint(12)
 		if s == SchemeRP16 {
 			width = 16
 		}
 		g, seqs := repair.Train(parts, width)
-		encs := make([][]byte, len(seqs))
-		for i, seq := range seqs {
-			encs[i] = g.EncodeSeq(nil, seq)
-		}
-		return repairCodec{g}, encs
+		return repairCodec{g}, func(i int) []byte { return g.EncodeSeq(nil, seqs[i]) }
 	default:
 		panic("dict: unknown scheme")
 	}
+}
+
+// buildCodec trains the scheme's model on parts and returns the codec along
+// with the byte-aligned encoded form of every part, in order. parallelism
+// bounds the worker pool used for the per-part encoding (<= 1 is serial);
+// the encoded output is identical either way.
+func buildCodec(s Scheme, parts [][]byte, orderPreserving bool, parallelism int) (codec, [][]byte) {
+	c, enc := trainCodec(s, parts, orderPreserving)
+	return c, encodeParts(enc, len(parts), parallelism)
 }

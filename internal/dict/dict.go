@@ -175,34 +175,47 @@ var ErrNUL = errors.New("dict: input strings must not contain NUL bytes")
 // Build constructs a dictionary of the given format over strs, which must be
 // strictly ascending, unique and NUL-free.
 func Build(f Format, strs []string) (Dictionary, error) {
+	return BuildWithOptions(f, strs, BuildOptions{})
+}
+
+// BuildWithOptions is Build with construction tuning: opts.Parallelism > 1
+// encodes independent parts (front-coding blocks, array entries) on a
+// bounded worker pool. The resulting dictionary is bit-identical to the
+// serial build.
+func BuildWithOptions(f Format, strs []string, opts BuildOptions) (Dictionary, error) {
 	if err := Validate(strs); err != nil {
 		return nil, err
 	}
-	return build(f, strs)
+	return build(f, strs, opts)
 }
 
 // BuildUnchecked is Build without input validation, for callers (such as the
 // column-store merge) that construct sorted unique inputs by design.
 func BuildUnchecked(f Format, strs []string) Dictionary {
-	d, err := build(f, strs)
+	return BuildUncheckedWithOptions(f, strs, BuildOptions{})
+}
+
+// BuildUncheckedWithOptions is BuildWithOptions without input validation.
+func BuildUncheckedWithOptions(f Format, strs []string, opts BuildOptions) Dictionary {
+	d, err := build(f, strs, opts)
 	if err != nil {
 		panic(err) // build itself never fails on validated input
 	}
 	return d
 }
 
-func build(f Format, strs []string) (Dictionary, error) {
+func build(f Format, strs []string, opts BuildOptions) (Dictionary, error) {
 	switch f {
 	case Array, ArrayBC, ArrayHU, ArrayNG2, ArrayNG3, ArrayRP12, ArrayRP16:
-		return newArrayDict(f, strs), nil
+		return newArrayDict(f, strs, opts), nil
 	case ArrayFixed:
 		return newArrayFixed(strs), nil
 	case FCBlock, FCBlockBC, FCBlockHU, FCBlockNG2, FCBlockNG3, FCBlockRP12, FCBlockRP16:
-		return newFCDict(f, fcModePrev, strs, DefaultFCBlockSize), nil
+		return newFCDict(f, fcModePrev, strs, DefaultFCBlockSize, opts), nil
 	case FCBlockDF:
-		return newFCDict(f, fcModeFirst, strs, DefaultFCBlockSize), nil
+		return newFCDict(f, fcModeFirst, strs, DefaultFCBlockSize, opts), nil
 	case FCInline:
-		return newFCDict(f, fcModeInline, strs, DefaultFCBlockSize), nil
+		return newFCDict(f, fcModeInline, strs, DefaultFCBlockSize, opts), nil
 	case ColumnBC:
 		return newColumnBC(strs, DefaultColumnBCBlockSize), nil
 	default:
@@ -288,11 +301,11 @@ func BuildWithFCBlockSize(f Format, strs []string, blockSize int) (Dictionary, e
 	}
 	switch f {
 	case FCBlock, FCBlockBC, FCBlockHU, FCBlockNG2, FCBlockNG3, FCBlockRP12, FCBlockRP16:
-		return newFCDict(f, fcModePrev, strs, blockSize), nil
+		return newFCDict(f, fcModePrev, strs, blockSize, BuildOptions{}), nil
 	case FCBlockDF:
-		return newFCDict(f, fcModeFirst, strs, blockSize), nil
+		return newFCDict(f, fcModeFirst, strs, blockSize, BuildOptions{}), nil
 	case FCInline:
-		return newFCDict(f, fcModeInline, strs, blockSize), nil
+		return newFCDict(f, fcModeInline, strs, blockSize, BuildOptions{}), nil
 	default:
 		return nil, fmt.Errorf("dict: %s is not a front-coding format", f)
 	}

@@ -1,0 +1,81 @@
+package dict
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BuildOptions tunes dictionary construction. The zero value is the serial
+// default used by Build and BuildUnchecked.
+type BuildOptions struct {
+	// Parallelism is the number of goroutines used to encode independent
+	// parts (front-coding block contents, array entries) at build time.
+	// Values <= 1 build serially. Codec training stays serial either way
+	// (the trained model must see all parts), and the assembled dictionary
+	// is bit-identical to the serial build: parallelism changes scheduling
+	// only, never layout.
+	Parallelism int
+}
+
+// minParallelParts is the size floor below which a parallel build falls back
+// to the serial path: for small dictionaries the goroutine hand-off costs
+// more than the encoding itself.
+const minParallelParts = 1024
+
+// clampedWorkers bounds a requested worker count by the number of
+// independent work items. It deliberately does not cap at GOMAXPROCS:
+// explicit parallelism is honoured (oversubscription is harmless for these
+// CPU-bound pools, and tests rely on the pooled path running even on one
+// core); callers that want a hardware-sized pool pass GOMAXPROCS themselves.
+func clampedWorkers(requested, items int) int {
+	w := requested
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// encodeParts materializes enc(i) for every i in [0, n), fanning the calls
+// out across a bounded worker pool when parallelism allows. Results land at
+// their own index, so the output is identical to the serial loop regardless
+// of scheduling.
+func encodeParts(enc partEncoder, n, parallelism int) [][]byte {
+	encs := make([][]byte, n)
+	workers := clampedWorkers(parallelism, n)
+	if workers <= 1 || n < minParallelParts {
+		for i := range encs {
+			encs[i] = enc(i)
+		}
+		return encs
+	}
+
+	// Workers claim fixed-size chunks off a shared cursor: big enough to
+	// amortize the atomic, small enough to balance skewed string lengths.
+	const chunk = 64
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					encs[i] = enc(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return encs
+}

@@ -1,0 +1,74 @@
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// parallelTestStrings generates a sorted unique corpus large enough to clear
+// the minParallelParts floor, with shared prefixes (so front coding has work
+// to do) and a skewed alphabet (so the trained codecs are non-trivial).
+func parallelTestStrings(n int) []string {
+	strs := make([]string, n)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("warehouse/bin-%06d/item-%08x", i, uint32(i)*2654435761)
+	}
+	return strs
+}
+
+// TestBuildWithOptionsBitIdentical asserts the tentpole invariant of the
+// parallel build path: for every format, a build with a worker pool yields
+// byte-for-byte the same serialized dictionary as the serial build.
+func TestBuildWithOptionsBitIdentical(t *testing.T) {
+	strs := parallelTestStrings(3 * minParallelParts)
+	for _, f := range AllFormats() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			serial := BuildUnchecked(f, strs)
+			parallel := BuildUncheckedWithOptions(f, strs, BuildOptions{Parallelism: 8})
+
+			if sb, pb := serial.Bytes(), parallel.Bytes(); sb != pb {
+				t.Fatalf("Bytes(): serial %d, parallel %d", sb, pb)
+			}
+			sm, err := Marshal(serial)
+			if err != nil {
+				t.Fatalf("marshal serial: %v", err)
+			}
+			pm, err := Marshal(parallel)
+			if err != nil {
+				t.Fatalf("marshal parallel: %v", err)
+			}
+			if !bytes.Equal(sm, pm) {
+				t.Fatalf("serialized forms differ: %d vs %d bytes", len(sm), len(pm))
+			}
+			// Spot-check behaviour too, in case Marshal omits runtime state.
+			for _, i := range []int{0, 1, len(strs) / 2, len(strs) - 1} {
+				if got := parallel.Extract(uint32(i)); got != strs[i] {
+					t.Fatalf("Extract(%d) = %q, want %q", i, got, strs[i])
+				}
+				if id, ok := parallel.Locate(strs[i]); !ok || id != uint32(i) {
+					t.Fatalf("Locate(%q) = %d,%v", strs[i], id, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildWithOptionsSmallInput exercises the serial fallback below the
+// size floor and degenerate inputs under a requested worker pool.
+func TestBuildWithOptionsSmallInput(t *testing.T) {
+	for _, strs := range [][]string{nil, {"only"}, {"a", "b", "c"}} {
+		for _, f := range AllFormats() {
+			d := BuildUncheckedWithOptions(f, strs, BuildOptions{Parallelism: 8})
+			if d.Len() != len(strs) {
+				t.Fatalf("%s: Len %d, want %d", f, d.Len(), len(strs))
+			}
+			for i, s := range strs {
+				if got := d.Extract(uint32(i)); got != s {
+					t.Fatalf("%s: Extract(%d) = %q, want %q", f, i, got, s)
+				}
+			}
+		}
+	}
+}

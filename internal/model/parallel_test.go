@@ -1,0 +1,35 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"strdict/internal/dict"
+)
+
+// TestEstimateAllParallelIdentical asserts the fanned-out models predict
+// exactly what the serial loop predicts, for every format.
+func TestEstimateAllParallelIdentical(t *testing.T) {
+	strs := make([]string, 2000)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("part-%06d/sku-%05x", i, uint32(i*7)%2000)
+	}
+	s := TakeSample(strs, 1.0, 1)
+
+	serial := EstimateAll(s)
+	parallel := EstimateAllParallel(s, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("len %d vs %d", len(serial), len(parallel))
+	}
+	for _, f := range dict.AllFormats() {
+		if serial[f] != parallel[f] {
+			t.Fatalf("%s: serial %d, parallel %d", f, serial[f], parallel[f])
+		}
+	}
+	// The serial fallback path must agree too.
+	for _, f := range dict.AllFormats() {
+		if one := EstimateAllParallel(s, 1)[f]; one != serial[f] {
+			t.Fatalf("%s: parallelism=1 %d, serial %d", f, one, serial[f])
+		}
+	}
+}

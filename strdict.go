@@ -35,6 +35,9 @@
 package strdict
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"strdict/internal/colstore"
 	"strdict/internal/core"
 	"strdict/internal/dict"
@@ -76,6 +79,16 @@ type Dictionary = dict.Dictionary
 // Build constructs a dictionary of the given format over strs, which must
 // be strictly ascending, unique and NUL-free.
 func Build(f Format, strs []string) (Dictionary, error) { return dict.Build(f, strs) }
+
+// BuildOptions tunes dictionary construction; Parallelism > 1 encodes
+// independent parts (front-coding blocks, array entries) on a bounded worker
+// pool. The result is bit-identical to the serial build.
+type BuildOptions = dict.BuildOptions
+
+// BuildWithOptions is Build with construction tuning.
+func BuildWithOptions(f Format, strs []string, opts BuildOptions) (Dictionary, error) {
+	return dict.BuildWithOptions(f, strs, opts)
+}
 
 // AllFormats returns every format in declaration order.
 func AllFormats() []Format { return dict.AllFormats() }
@@ -192,11 +205,53 @@ func ColumnStatsOf(c *StringColumn, lifetimeNs float64, sampleRatio float64, see
 // store and rebuilds the dictionaries accordingly, returning the chosen
 // format per column.
 func Reconfigure(s *Store, mgr *Manager, lifetimeNs float64, sampleRatio float64, seed int64) map[string]Format {
-	out := make(map[string]Format)
-	for _, c := range s.StringColumns() {
-		decision := mgr.ChooseFormat(ColumnStatsOf(c, lifetimeNs, sampleRatio, seed))
-		c.Rebuild(decision.Format)
-		out[c.Name()] = decision.Format
+	return ReconfigureParallel(s, mgr, lifetimeNs, sampleRatio, seed, 1)
+}
+
+// ReconfigureParallel is Reconfigure with the per-column work — sampling,
+// the 18-format model evaluation, and the dictionary rebuild — fanned out
+// across a bounded worker pool (parallelism <= 1 is serial). The trade-off
+// parameter is read once per column from the live manager; decisions and
+// rebuilt dictionaries are identical to the serial path.
+func ReconfigureParallel(s *Store, mgr *Manager, lifetimeNs float64, sampleRatio float64, seed int64, parallelism int) map[string]Format {
+	cols := s.StringColumns()
+	chosen := make([]Format, len(cols))
+	reconfigureColumn := func(i int) {
+		decision := mgr.ChooseFormat(ColumnStatsOf(cols[i], lifetimeNs, sampleRatio, seed))
+		cols[i].RebuildWithOptions(decision.Format, colstore.MergeOptions{})
+		chosen[i] = decision.Format
+	}
+
+	workers := parallelism
+	if workers > len(cols) {
+		workers = len(cols)
+	}
+	if workers <= 1 {
+		for i := range cols {
+			reconfigureColumn(i)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(cols) {
+						return
+					}
+					reconfigureColumn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	out := make(map[string]Format, len(cols))
+	for i, c := range cols {
+		out[c.Name()] = chosen[i]
 	}
 	return out
 }
@@ -211,7 +266,13 @@ func Unmarshal(data []byte) (Dictionary, error) { return dict.Unmarshal(data) }
 
 // MergeScheduler drives delta-to-main merges and tracks per-column merge
 // intervals (the lifetime that normalizes the manager's time dimension).
+// Due columns merge concurrently on its bounded worker pool (Parallelism
+// field; GOMAXPROCS by default) while readers keep querying the old column
+// state until each column's atomic swap.
 type MergeScheduler = colstore.MergeScheduler
+
+// MergeOptions tunes a merge's dictionary reconstruction.
+type MergeOptions = colstore.MergeOptions
 
 // NewMergeScheduler returns a scheduler that merges a column once its delta
 // holds deltaRowThreshold rows. Set its Chooser to consult a Manager at
