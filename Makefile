@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench bench-all check
 
 all: check
 
@@ -16,7 +16,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Read-path gate: versioned lock-free reads vs the RWMutex baseline, plus
+# merge throughput; writes BENCH_read_path.json.
 bench:
+	sh scripts/bench_read_path.sh
+
+# Every figure and ablation benchmark, one iteration each.
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 check: build vet test race

@@ -178,8 +178,8 @@ func BenchmarkParallelMerge(b *testing.B) {
 		sched := strdict.NewMergeScheduler(store, 1)
 		sched.Parallelism = workers
 		sched.BuildParallelism = workers
-		sched.Chooser = func(c *strdict.StringColumn, lifetimeNs float64) strdict.Format {
-			return mgr.ChooseFormat(strdict.ColumnStatsOf(c, lifetimeNs, 1.0, 1)).Format
+		sched.Chooser = func(snap *strdict.Snapshot, lifetimeNs float64) strdict.Format {
+			return mgr.ChooseFormat(strdict.ColumnStatsOfSnapshot(snap, lifetimeNs, 1.0, 1)).Format
 		}
 		return store, sched
 	}
@@ -217,6 +217,110 @@ func BenchmarkParallelMerge(b *testing.B) {
 				b.StartTimer()
 				sched.Flush()
 			}
+		})
+	}
+}
+
+// BenchmarkSnapshotScan measures the versioned read path against the
+// pre-refactor design on two op classes: value point reads (AppendGet —
+// dictionary extract per row) and code reads (Code — the scan inner-loop
+// access ScanEq and RowsByCode make per row). Each class compares the
+// lock-free live column (one atomic version load per call) and a pinned
+// Snapshot against an RWMutex-wrapped baseline reproducing the old
+// lock-per-call column. The code reads are the headline: the op is a few
+// nanoseconds of bit-unpacking, so the RLock/RUnlock pair the old design
+// paid per call is several times the work itself.
+// scripts/bench_read_path.sh records the rwmutex-vs-lockfree ratios in
+// BENCH_read_path.json. The working set is deliberately cache-resident:
+// with a memory-latency-bound column every variant converges on DRAM
+// latency and the synchronization difference disappears into noise.
+func BenchmarkSnapshotScan(b *testing.B) {
+	const rows = 4096
+	uniq := datagen.Generate("engl", 512, 1)
+	col := strdict.NewStore().AddTable("bench").AddString("c", strdict.Array)
+	for i := 0; i < rows; i++ {
+		col.Append(uniq[(i*2654435761)%len(uniq)])
+	}
+	col.Merge(strdict.Array) // cheap format: access cost ~ lock cost
+	snap := col.Snapshot()
+
+	// AppendGet into a reusable buffer keeps every variant allocation-free,
+	// so the measured difference is synchronization, not the allocator. The
+	// RWMutex baseline emulates the old StringColumn: every read takes the
+	// column lock around the same underlying dictionary access.
+	var mu sync.RWMutex
+	locked := func(dst []byte, i int) []byte {
+		mu.RLock()
+		defer mu.RUnlock()
+		return snap.AppendGet(dst, i)
+	}
+
+	readers := []struct {
+		name string
+		get  func(dst []byte, i int) []byte
+	}{
+		{"lockfree-column", col.AppendGet},
+		{"snapshot", snap.AppendGet},
+		{"rwmutex", locked},
+	}
+	// rows is a power of two: i*K & (rows-1) with odd K permutes the row
+	// space without the integer division a modulo would add to every op.
+	for _, r := range readers {
+		b.Run("value/"+r.name+"/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = r.get(buf[:0], (i*2654435761)&(rows-1))
+			}
+		})
+		b.Run("value/"+r.name+"/parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				var buf []byte
+				i := 0
+				for pb.Next() {
+					buf = r.get(buf[:0], (i*2654435761)&(rows-1))
+					i++
+				}
+			})
+		})
+	}
+
+	// Code reads are the scan inner loop: ScanEq, RowsByCode and
+	// TranslateCodes evaluate predicates directly on value IDs, one tiny
+	// vector access per row. This is where a per-call mutex hurts most —
+	// the lock is several times the op itself.
+	lockedCode := func(i int) uint32 {
+		mu.RLock()
+		defer mu.RUnlock()
+		code, _ := snap.Code(i)
+		return code
+	}
+	freeCode := func(i int) uint32 {
+		code, _ := col.Code(i)
+		return code
+	}
+	codeReaders := []struct {
+		name string
+		get  func(i int) uint32
+	}{
+		{"lockfree-column", freeCode},
+		{"rwmutex", lockedCode},
+	}
+	for _, r := range codeReaders {
+		b.Run("code/"+r.name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = r.get((i * 2654435761) & (rows - 1))
+			}
+		})
+		b.Run("code/"+r.name+"/parallel", func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					_ = r.get((i * 2654435761) & (rows - 1))
+					i++
+				}
+			})
 		})
 	}
 }

@@ -8,6 +8,8 @@
 //	-figure both (default) runs both on one shared trace
 //	-figure strategies   ablation: const vs rel vs tilt end to end
 //	-figure workload     traced per-column dictionary operation counts
+//	-figure daemon       online refresh stream with the background merge
+//	                     daemon adapting formats at every merge
 //
 // Usage:
 //
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "both", "figure to regenerate: 10, 11, both, strategies or workload")
+	figure := flag.String("figure", "both", "figure to regenerate: 10, 11, both, strategies, workload or daemon")
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "random seed")
 	trace := flag.Int("trace", 2, "workload repetitions for the trace")
@@ -41,6 +43,11 @@ func main() {
 		MeasureReps: *reps,
 		SampleRatio: *sample,
 		Parallelism: *parallel,
+	}
+	if *figure == "daemon" {
+		// No offline trace: the daemon report is the online protocol.
+		experiments.DaemonReport(os.Stdout, cfg, *reps)
+		return
 	}
 	e := experiments.NewTPCHExperiment(cfg)
 	switch *figure {

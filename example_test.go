@@ -63,7 +63,7 @@ func ExampleNewMergeScheduler() {
 		col.Append(fmt.Sprintf("v%d", i%3))
 	}
 	sched := strdict.NewMergeScheduler(store, 5)
-	sched.Chooser = func(c *strdict.StringColumn, lifetimeNs float64) strdict.Format {
+	sched.Chooser = func(snap *strdict.Snapshot, lifetimeNs float64) strdict.Format {
 		return strdict.ArrayFixed
 	}
 	fmt.Println(sched.Tick())
@@ -71,6 +71,27 @@ func ExampleNewMergeScheduler() {
 	// Output:
 	// [t.c]
 	// array fixed 3
+}
+
+// A Snapshot pins one consistent (dictionary, code vector, delta) state,
+// so a long scan keeps its view while the live column takes appends and
+// background merges.
+func ExampleStringColumn_Snapshot() {
+	store := strdict.NewStore()
+	col := store.AddTable("t").AddString("c", strdict.Array)
+	for _, v := range []string{"a", "b", "a"} {
+		col.Append(v)
+	}
+	snap := col.Snapshot()
+
+	col.Append("c")
+	col.Merge(strdict.FCInline) // the live column moves on
+
+	fmt.Println(snap.Len(), col.Len())
+	fmt.Println(snap.ScanEq("a", nil))
+	// Output:
+	// 3 4
+	// [0 2]
 }
 
 // TakeSample + EstimateSize predict a format's size from a fraction of the

@@ -1,14 +1,18 @@
 // Adaptive: an end-to-end demonstration of the compression manager on a
 // small column store — two columns with opposite usage patterns, a memory
 // budget, the feedback loop steering the trade-off parameter c, and the
-// concurrent merge pipeline: a merge scheduler whose worker pool merges due
-// columns in parallel and consults the manager at merge time, while the
-// columns stay readable throughout (snapshot-build-swap).
+// background merge daemon: its worker pool merges due columns on its own
+// timer (no cooperative Tick calls in the ingest loop), consults the
+// manager for the format at every merge, and bounds the delta via
+// backpressure, while the columns stay readable throughout
+// (versioned read path, snapshot-build-swap).
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"strdict"
 )
@@ -27,28 +31,31 @@ func main() {
 		Strategy:         strdict.StrategyTilt,
 	})
 
-	// The concurrent merge pipeline: due columns merge in parallel on a
-	// GOMAXPROCS-sized pool, each consulting the manager for its format at
-	// merge time; dictionary builds themselves fan out across blocks too.
-	sched := strdict.NewMergeScheduler(store, 20_000)
-	sched.Parallelism = runtime.GOMAXPROCS(0)
-	sched.BuildParallelism = runtime.GOMAXPROCS(0)
-	sched.Chooser = func(c *strdict.StringColumn, lifetimeNs float64) strdict.Format {
-		return mgr.ChooseFormat(strdict.ColumnStatsOf(c, lifetimeNs, 1.0, 1)).Format
-	}
+	// The background merge daemon: due columns merge in parallel on a
+	// GOMAXPROCS-sized pool on the daemon's own timer, each consulting the
+	// manager for its format at merge time; dictionary builds fan out across
+	// blocks too. The high-water mark throttles ingest if the daemon falls
+	// behind, so the delta can never grow without bound.
+	sched := strdict.StartMergeDaemon(context.Background(), store, mgr, strdict.DaemonOptions{
+		DeltaRowThreshold: 20_000,
+		Interval:          5 * time.Millisecond,
+		HighWaterMark:     40_000,
+		Parallelism:       runtime.GOMAXPROCS(0),
+		BuildParallelism:  runtime.GOMAXPROCS(0),
+	})
 
+	// The ingest loop contains no merge calls at all — merges overlap it on
+	// the daemon goroutine while every reader stays lock-free on the
+	// published column versions (see the colstore stress test).
 	for i := 0; i < 50_000; i++ {
 		status.Append([]string{"OK", "RETRY", "FAILED", "TIMEOUT", "DROPPED"}[i%5])
 		session.Append(fmt.Sprintf("sess-%08x-%08x", i*2654435761, i))
-		// Ingest and merge interleave; readers would keep running while the
-		// pool merges (see the colstore stress test).
-		if i%10_000 == 9_999 {
-			if merged := sched.Tick(); len(merged) > 0 {
-				fmt.Printf("merged in parallel: %v\n", merged)
-			}
-		}
 	}
-	sched.Flush()
+	if err := sched.Close(); err != nil { // drains every remaining delta row
+		panic(err)
+	}
+	fmt.Printf("daemon drained: status delta=%d session delta=%d\n",
+		status.DeltaRows(), session.DeltaRows())
 	store.ResetStats()
 
 	// Trace a workload: the status column is read constantly, the session

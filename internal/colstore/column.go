@@ -10,14 +10,32 @@
 //
 // # Concurrency
 //
-// StringColumn is safe for concurrent use: readers (Get, Locate, ScanEq, …)
-// and writers (Append) synchronize on a per-column RWMutex, and Merge and
-// Rebuild follow a snapshot-build-swap protocol — the new dictionary and
-// re-encoded code vector are built off to the side against an immutable
-// snapshot of main+delta, and the column only takes its write lock for the
-// final pointer swap. Readers are therefore never blocked for the duration
-// of a dictionary build, only for the O(leftover-delta) swap itself. Rows
-// appended while a merge is in flight stay in the delta across the swap.
+// StringColumn follows an epoch/version design: the entire read state —
+// dictionary, code vector, main row count, and the chain of sealed
+// (immutable) delta segments — lives in one immutable columnVersion struct
+// published through an atomic pointer. Readers (Get, Locate, ScanEq,
+// CodeRange, …) load the pointer once and never take a mutex on the main
+// part; a reader holds a consistent view for the duration of one call by
+// construction, and Snapshot returns that view as an explicit handle so an
+// analytical scan can pin a single (dict, codes) pair across a whole query
+// with zero per-row synchronization.
+//
+// Writes go to the active delta segment, the only mutable structure, guarded
+// by a small per-column mutex whose critical sections are O(1). A merge
+// first seals the active segment — moves it, frozen, into the published
+// version's sealed chain and starts a fresh active segment — then builds the
+// merged dictionary and re-encoded code vector off to the side with no lock
+// held, and finally publishes the new version with one atomic store. Appends
+// racing the build land in the new active segment and are untouched by the
+// publish: the boundary between published rows and active rows only moves at
+// seal time, which holds the append mutex. Merge/Rebuild/seal serialize on
+// mergeMu, so there is exactly one publisher at a time; readers are never
+// blocked, not even for a swap.
+//
+// Backpressure: a merge daemon (see MergeScheduler.Start) may install a
+// high-water mark; Append then blocks once the active segment reaches that
+// many rows, kicks the daemon, and resumes when the segment is sealed.
+//
 // Table and Store DDL (AddTable, AddString, …) is not goroutine-safe and
 // must complete before concurrent access starts.
 package colstore
@@ -47,23 +65,20 @@ type MergeOptions struct {
 	BuildParallelism int
 }
 
-// StringColumn is a dictionary-encoded string column: the main part holds a
-// read-only dictionary in one of the 18 formats plus a bit-packed vector of
-// value IDs; the delta part absorbs appends until the next merge.
-//
-// All exported methods are safe for concurrent use. The dictionary and code
-// vector behind mu are immutable once published, so Merge can build a
-// replacement without blocking readers (see the package comment).
-type StringColumn struct {
-	name string
+// deltaSegment is one sealed chunk of the write-optimized delta. Once a
+// segment is sealed it is immutable — values, index and rows are never
+// touched again — so readers and the merge builder share it freely.
+type deltaSegment struct {
+	vals  []string          // segment code -> value, insertion order
+	index map[string]uint32 // value -> segment code
+	rows  []uint32          // per row: segment code
+}
 
-	// mu guards every field below it. Readers take the read lock; Append and
-	// the merge swap take the write lock. The structures themselves (dict,
-	// codes) are immutable once published, and delta slices are append-only,
-	// so a merge can snapshot them under the read lock and build off to the
-	// side.
-	mu sync.RWMutex
-
+// columnVersion is the immutable read state of a column: the read-optimized
+// main part plus the chain of sealed delta segments. A published version is
+// never mutated; every structural change (seal, merge, rebuild) installs a
+// fresh version through the column's atomic pointer.
+type columnVersion struct {
 	// Read-optimized main part. The code vector is integer-compressed
 	// (bit-packed or run-length encoded, whichever is smaller), per the
 	// paper's note that domain-encoded code lists are compressed further.
@@ -71,14 +86,60 @@ type StringColumn struct {
 	codes intcomp.Vector
 	nMain int
 
-	// Write-optimized delta part.
-	deltaVals  []string          // delta code -> value, insertion order
-	deltaIndex map[string]uint32 // value -> delta code
-	deltaRows  []uint32          // per delta row: delta code
+	// Sealed delta segments, oldest first. Their rows follow the main part
+	// in row-position order; sealedRows caches their total length.
+	sealed     []*deltaSegment
+	sealedRows int
+}
 
-	// mergeMu serializes Merge/Rebuild against each other, so two concurrent
-	// maintenance calls cannot interleave their snapshot and swap phases.
-	// Readers and writers never touch it.
+// rows returns the number of rows covered by this version (main + sealed).
+func (v *columnVersion) rows() int { return v.nMain + v.sealedRows }
+
+// sealedValue returns the value at delta offset off (row - nMain).
+func (v *columnVersion) sealedValue(off int) string {
+	for _, seg := range v.sealed {
+		if off < len(seg.rows) {
+			return seg.vals[seg.rows[off]]
+		}
+		off -= len(seg.rows)
+	}
+	panic("colstore: sealed delta row out of range")
+}
+
+// StringColumn is a dictionary-encoded string column: the main part holds a
+// read-only dictionary in one of the 18 formats plus a bit-packed vector of
+// value IDs; the delta part absorbs appends until the next merge.
+//
+// All exported methods are safe for concurrent use. Reads of the main part
+// are lock-free: they load the current columnVersion with one atomic load
+// (see the package comment). Use Snapshot to pin one version across many
+// calls.
+type StringColumn struct {
+	name string
+
+	// version is the column's entire published read state. Load once per
+	// operation; every loaded version stays valid (immutable) forever.
+	version atomic.Pointer[columnVersion]
+
+	// totalRows counts every appended row (main + sealed + active). It is
+	// monotone: rows are never deleted, and merges only move them between
+	// parts, so Len is a single atomic load.
+	totalRows atomic.Int64
+
+	// appendMu guards the active (unsealed) delta segment below and the
+	// backpressure configuration. Critical sections are O(1); the main part
+	// is never read or written under it.
+	appendMu    sync.Mutex
+	drained     sync.Cond // signaled when the active segment is sealed or backpressure is removed
+	activeVals  []string
+	activeIndex map[string]uint32
+	activeRows  []uint32
+	hwm         int    // active-segment high-water mark; 0 = no backpressure
+	kick        func() // wakes the merge daemon when the mark is hit
+
+	// mergeMu serializes Merge/Rebuild (and their seal step) against each
+	// other: there is exactly one version publisher at a time. Readers and
+	// writers never touch it.
 	mergeMu sync.Mutex
 
 	extracts atomic.Uint64
@@ -88,86 +149,136 @@ type StringColumn struct {
 // NewStringColumn returns an empty column whose main part uses the given
 // dictionary format.
 func NewStringColumn(name string, format dict.Format) *StringColumn {
-	return &StringColumn{
-		name:       name,
-		dict:       dict.BuildUnchecked(format, nil),
-		codes:      intcomp.PackBits(nil),
-		deltaIndex: make(map[string]uint32),
+	c := &StringColumn{
+		name:        name,
+		activeIndex: make(map[string]uint32),
 	}
+	c.drained.L = &c.appendMu
+	c.version.Store(&columnVersion{
+		dict:  dict.BuildUnchecked(format, nil),
+		codes: intcomp.PackBits(nil),
+	})
+	return c
 }
 
 // Name returns the column name.
 func (c *StringColumn) Name() string { return c.name }
 
-// Len returns the number of rows (main + delta).
-func (c *StringColumn) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.nMain + len(c.deltaRows)
+// Len returns the number of rows (main + delta). One atomic load, no locks.
+func (c *StringColumn) Len() int { return int(c.totalRows.Load()) }
+
+// DeltaRows returns the number of rows in the write-optimized delta — the
+// sealed segments plus the active segment, i.e. every row not yet folded
+// into the main part. The version is loaded before the row counter so the
+// difference can never go negative while a merge publishes concurrently.
+func (c *StringColumn) DeltaRows() int {
+	v := c.version.Load()
+	return int(c.totalRows.Load()) - v.nMain
 }
 
 // DictLen returns the number of distinct values in the main dictionary.
 func (c *StringColumn) DictLen() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.dict.Len()
+	return c.version.Load().dict.Len()
 }
 
 // Format returns the main dictionary's format.
 func (c *StringColumn) Format() dict.Format {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.dict.Format()
+	return c.version.Load().dict.Format()
 }
 
-// Append adds a value to the write-optimized delta part.
+// Append adds a value to the write-optimized delta part. If a merge daemon
+// installed a high-water mark and the active segment is full, Append blocks
+// until the daemon seals the segment (backpressure).
 func (c *StringColumn) Append(value string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	code, ok := c.deltaIndex[value]
-	if !ok {
-		code = uint32(len(c.deltaVals))
-		c.deltaVals = append(c.deltaVals, value)
-		c.deltaIndex[value] = code
+	c.appendMu.Lock()
+	for c.hwm > 0 && len(c.activeRows) >= c.hwm {
+		if c.kick != nil {
+			c.kick()
+		}
+		c.drained.Wait()
 	}
-	c.deltaRows = append(c.deltaRows, code)
+	code, ok := c.activeIndex[value]
+	if !ok {
+		code = uint32(len(c.activeVals))
+		c.activeVals = append(c.activeVals, value)
+		c.activeIndex[value] = code
+	}
+	c.activeRows = append(c.activeRows, code)
+	c.totalRows.Add(1)
+	c.appendMu.Unlock()
+}
+
+// setBackpressure installs (hwm > 0) or removes (hwm <= 0) the append
+// throttle. kick, if non-nil, is invoked — with the append mutex held, so it
+// must not call back into the column — when a blocked Append wants a merge.
+func (c *StringColumn) setBackpressure(hwm int, kick func()) {
+	c.appendMu.Lock()
+	if hwm < 0 {
+		hwm = 0
+	}
+	c.hwm = hwm
+	c.kick = kick
+	c.drained.Broadcast() // release waiters if the mark was raised or removed
+	c.appendMu.Unlock()
 }
 
 // Get returns the value at the given row, reading the main part through the
-// dictionary (counted as an extract).
+// dictionary (counted as an extract). Main and sealed rows are served
+// lock-free from the current version.
 func (c *StringColumn) Get(row int) string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if row < c.nMain {
+	v := c.version.Load()
+	if row < v.nMain {
 		c.extracts.Add(1)
-		return c.dict.Extract(uint32(c.codes.Get(row)))
+		return v.dict.Extract(uint32(v.codes.Get(row)))
 	}
-	return c.deltaVals[c.deltaRows[row-c.nMain]]
+	if row < v.rows() {
+		return v.sealedValue(row - v.nMain)
+	}
+	return c.activeValue(row)
+}
+
+// activeValue serves a row from the active segment under the append mutex.
+// The boundary between published rows and active rows only moves at seal
+// time, which also holds the append mutex, so reloading the version under
+// the lock yields a stable offset. A row that was sealed (or merged) between
+// the caller's version load and ours is served from the newer version.
+func (c *StringColumn) activeValue(row int) string {
+	c.appendMu.Lock()
+	defer c.appendMu.Unlock()
+	v := c.version.Load()
+	if row < v.nMain {
+		c.extracts.Add(1)
+		return v.dict.Extract(uint32(v.codes.Get(row)))
+	}
+	if row < v.rows() {
+		return v.sealedValue(row - v.nMain)
+	}
+	return c.activeVals[c.activeRows[row-v.rows()]]
 }
 
 // AppendGet appends the value at row to dst (allocation-free main-part read).
 func (c *StringColumn) AppendGet(dst []byte, row int) []byte {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if row < c.nMain {
+	v := c.version.Load()
+	if row < v.nMain {
 		c.extracts.Add(1)
-		return c.dict.AppendExtract(dst, uint32(c.codes.Get(row)))
+		return v.dict.AppendExtract(dst, uint32(v.codes.Get(row)))
 	}
-	return append(dst, c.deltaVals[c.deltaRows[row-c.nMain]]...)
+	if row < v.rows() {
+		return append(dst, v.sealedValue(row-v.nMain)...)
+	}
+	return append(dst, c.activeValue(row)...)
 }
 
 // Code returns the main-part value ID at a row; rows in the delta return
 // ok == false. Query operators compare codes instead of strings wherever
 // possible — the core benefit of domain encoding.
 //
-// Note that value IDs are only stable between merges: correlate a Code with
-// other main-part reads within one merge-free window (a query that needs a
-// consistent cross-call view should run on a quiesced scheduler).
+// Note that value IDs are only stable between merges: a query that needs a
+// consistent cross-call view should hold a Snapshot and use its methods.
 func (c *StringColumn) Code(row int) (uint32, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if row < c.nMain {
-		return uint32(c.codes.Get(row)), true
+	v := c.version.Load()
+	if row < v.nMain {
+		return uint32(v.codes.Get(row)), true
 	}
 	return 0, false
 }
@@ -175,62 +286,39 @@ func (c *StringColumn) Code(row int) (uint32, bool) {
 // Locate returns the value ID of value in the main dictionary (counted as a
 // locate), with the Definition 1 semantics.
 func (c *StringColumn) Locate(value string) (uint32, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	c.locates.Add(1)
-	return c.dict.Locate(value)
+	return c.version.Load().dict.Locate(value)
 }
 
 // Extract returns the string for a main-dictionary value ID (counted).
 func (c *StringColumn) Extract(id uint32) string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	c.extracts.Add(1)
-	return c.dict.Extract(id)
+	return c.version.Load().dict.Extract(id)
 }
 
 // AppendExtract is the allocation-free variant of Extract (counted).
 func (c *StringColumn) AppendExtract(dst []byte, id uint32) []byte {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	c.extracts.Add(1)
-	return c.dict.AppendExtract(dst, id)
+	return c.version.Load().dict.AppendExtract(dst, id)
 }
 
 // CodeRange translates a string range [lo, hi) into a value-ID range
 // [loID, hiID) — valid because every dictionary format is order-preserving.
-// Two locates are counted. The pair is resolved against one dictionary
-// snapshot, so a concurrent merge cannot tear it.
+// Two locates are counted. The pair is resolved against one version load,
+// so a concurrent merge cannot tear it.
 func (c *StringColumn) CodeRange(lo, hi string) (uint32, uint32) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	v := c.version.Load()
 	c.locates.Add(2)
-	loID, _ := c.dict.Locate(lo)
-	hiID, _ := c.dict.Locate(hi)
+	loID, _ := v.dict.Locate(lo)
+	hiID, _ := v.dict.Locate(hi)
 	return loID, hiID
 }
 
 // ScanEq appends to out the rows whose value equals v. The whole scan runs
-// against one consistent column snapshot.
+// against one pinned snapshot; a fully merged column is scanned without any
+// mutex operation.
 func (c *StringColumn) ScanEq(v string, out []int) []int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	c.locates.Add(1)
-	if id, found := c.dict.Locate(v); found {
-		for row := 0; row < c.nMain; row++ {
-			if uint32(c.codes.Get(row)) == id {
-				out = append(out, row)
-			}
-		}
-	}
-	if dcode, ok := c.deltaIndex[v]; ok {
-		for i, dc := range c.deltaRows {
-			if dc == dcode {
-				out = append(out, c.nMain+i)
-			}
-		}
-	}
-	return out
+	return c.Snapshot().ScanEq(v, out)
 }
 
 // Stats returns the cumulative dictionary access counters.
@@ -248,10 +336,7 @@ func (c *StringColumn) ResetStats() {
 // It bypasses the access counters: it is maintenance machinery (merge,
 // sampling), not query work.
 func (c *StringColumn) DictValues() []string {
-	c.mu.RLock()
-	d := c.dict
-	c.mu.RUnlock()
-	return dictValuesOf(d)
+	return dictValuesOf(c.version.Load().dict)
 }
 
 // dictValuesOf walks an (immutable) dictionary outside any lock.
@@ -264,29 +349,31 @@ func dictValuesOf(d dict.Dictionary) []string {
 	return out
 }
 
-// columnSnapshot is the immutable view a merge builds against: the published
-// main part plus the delta prefix existing at snapshot time. Delta slices
-// are append-only, so capturing their lengths pins a consistent prefix even
-// while writers keep appending.
-type columnSnapshot struct {
-	dict      dict.Dictionary
-	codes     intcomp.Vector
-	nMain     int
-	deltaVals []string
-	deltaRows []uint32
-}
-
-// snapshot captures the current column state under the read lock.
-func (c *StringColumn) snapshot() columnSnapshot {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return columnSnapshot{
-		dict:      c.dict,
-		codes:     c.codes,
-		nMain:     c.nMain,
-		deltaVals: c.deltaVals[:len(c.deltaVals):len(c.deltaVals)],
-		deltaRows: c.deltaRows[:len(c.deltaRows):len(c.deltaRows)],
+// sealActive freezes the active segment into the published version's sealed
+// chain and starts a fresh active segment, returning the resulting version.
+// Appenders blocked on backpressure are released. The caller must hold
+// mergeMu (seal publishes a version).
+func (c *StringColumn) sealActive() *columnVersion {
+	c.appendMu.Lock()
+	defer c.appendMu.Unlock()
+	v := c.version.Load()
+	if len(c.activeRows) == 0 {
+		return v
 	}
+	seg := &deltaSegment{vals: c.activeVals, index: c.activeIndex, rows: c.activeRows}
+	nv := &columnVersion{
+		dict:       v.dict,
+		codes:      v.codes,
+		nMain:      v.nMain,
+		sealed:     append(v.sealed[:len(v.sealed):len(v.sealed)], seg),
+		sealedRows: v.sealedRows + len(seg.rows),
+	}
+	c.activeVals = nil
+	c.activeIndex = make(map[string]uint32)
+	c.activeRows = nil
+	c.version.Store(nv)
+	c.drained.Broadcast()
+	return nv
 }
 
 // Merge folds the delta part into the main part, rebuilding the dictionary
@@ -296,39 +383,45 @@ func (c *StringColumn) Merge(format dict.Format) {
 	c.MergeWithOptions(format, MergeOptions{})
 }
 
-// MergeWithOptions is Merge with construction tuning. The merge runs
-// off-to-the-side: it snapshots main+delta, builds the merged dictionary and
-// re-encoded code vector without holding any column lock, then publishes the
-// result with a brief write-locked swap. Rows appended during the build
-// survive in the delta; with no concurrent appends the result is identical
-// to the serial merge.
+// MergeWithOptions is Merge with construction tuning. The merge first seals
+// the active delta segment, then builds the merged dictionary and re-encoded
+// code vector off to the side — no lock held, readers keep scanning the old
+// version — and finally publishes the new version with one atomic store.
+// Rows appended during the build land in the new active segment and keep
+// their positions; with no concurrent appends the result is identical to the
+// serial merge.
 func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) {
 	c.mergeMu.Lock()
 	defer c.mergeMu.Unlock()
 
-	snap := c.snapshot()
-	oldVals := dictValuesOf(snap.dict)
+	v := c.sealActive()
+	oldVals := dictValuesOf(v.dict)
+
+	// Distinct delta values across all sealed segments, sorted. Values may
+	// repeat between segments; dedupe after sorting.
+	var deltaVals []string
+	for _, seg := range v.sealed {
+		deltaVals = append(deltaVals, seg.vals...)
+	}
+	sort.Strings(deltaVals)
+	deltaVals = dedupeSorted(deltaVals)
 
 	// Union of old dictionary and distinct delta values.
-	merged := make([]string, 0, len(oldVals)+len(snap.deltaVals))
-	newDelta := append([]string(nil), snap.deltaVals...)
-	sort.Strings(newDelta)
+	merged := make([]string, 0, len(oldVals)+len(deltaVals))
 	i, j := 0, 0
-	for i < len(oldVals) || j < len(newDelta) {
+	for i < len(oldVals) || j < len(deltaVals) {
 		switch {
-		case j >= len(newDelta):
+		case j >= len(deltaVals):
 			merged = append(merged, oldVals[i])
 			i++
 		case i >= len(oldVals):
-			if len(merged) == 0 || merged[len(merged)-1] != newDelta[j] {
-				merged = append(merged, newDelta[j])
-			}
+			merged = append(merged, deltaVals[j])
 			j++
-		case oldVals[i] < newDelta[j]:
+		case oldVals[i] < deltaVals[j]:
 			merged = append(merged, oldVals[i])
 			i++
-		case oldVals[i] > newDelta[j]:
-			merged = append(merged, newDelta[j])
+		case oldVals[i] > deltaVals[j]:
+			merged = append(merged, deltaVals[j])
 			j++
 		default:
 			merged = append(merged, oldVals[i])
@@ -337,23 +430,27 @@ func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) {
 		}
 	}
 
-	// Remap old main codes and delta codes to the merged ID space.
+	// Remap old main codes and per-segment delta codes to the merged ID
+	// space.
 	oldToNew := make([]uint32, len(oldVals))
-	for oi, v := range oldVals {
-		oldToNew[oi] = uint32(sort.SearchStrings(merged, v))
+	for oi, val := range oldVals {
+		oldToNew[oi] = uint32(sort.SearchStrings(merged, val))
 	}
-	deltaToNew := make([]uint32, len(snap.deltaVals))
-	for di, v := range snap.deltaVals {
-		deltaToNew[di] = uint32(sort.SearchStrings(merged, v))
-	}
-
-	n := snap.nMain + len(snap.deltaRows)
+	n := v.rows()
 	newCodes := make([]uint64, n)
-	for row := 0; row < snap.nMain; row++ {
-		newCodes[row] = uint64(oldToNew[snap.codes.Get(row)])
+	for row := 0; row < v.nMain; row++ {
+		newCodes[row] = uint64(oldToNew[v.codes.Get(row)])
 	}
-	for i, dc := range snap.deltaRows {
-		newCodes[snap.nMain+i] = uint64(deltaToNew[dc])
+	off := v.nMain
+	for _, seg := range v.sealed {
+		segToNew := make([]uint32, len(seg.vals))
+		for si, val := range seg.vals {
+			segToNew[si] = uint32(sort.SearchStrings(merged, val))
+		}
+		for ri, dc := range seg.rows {
+			newCodes[off+ri] = uint64(segToNew[dc])
+		}
+		off += len(seg.rows)
 	}
 
 	// The expensive part, off to the side: no reader or writer is blocked.
@@ -361,37 +458,28 @@ func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) {
 		dict.BuildOptions{Parallelism: opts.BuildParallelism})
 	newVec := intcomp.PackAuto(newCodes)
 
-	// Publish. Rows appended since the snapshot keep their positions after
-	// the new main part; their values are re-interned into a fresh delta so
-	// the delta again holds only unmerged data.
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	tail := c.deltaRows[len(snap.deltaRows):]
-	freshVals := make([]string, 0, len(tail))
-	freshIndex := make(map[string]uint32, len(tail))
-	freshRows := make([]uint32, 0, len(tail))
-	for _, dc := range tail {
-		v := c.deltaVals[dc]
-		code, ok := freshIndex[v]
-		if !ok {
-			code = uint32(len(freshVals))
-			freshVals = append(freshVals, v)
-			freshIndex[v] = code
+	// Publish. The row boundary (main + sealed) is unchanged, so no append
+	// lock is needed; rows appended since the seal stay in the active
+	// segment.
+	c.version.Store(&columnVersion{dict: newDict, codes: newVec, nMain: n})
+}
+
+// dedupeSorted removes adjacent duplicates from a sorted slice in place.
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for _, v := range s {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
 		}
-		freshRows = append(freshRows, code)
 	}
-	c.dict = newDict
-	c.codes = newVec
-	c.nMain = n
-	c.deltaVals = freshVals
-	c.deltaIndex = freshIndex
-	c.deltaRows = freshRows
+	return out
 }
 
 // Rebuild reconstructs the main dictionary in a new format without touching
 // the delta (used when reconfiguring an already-merged store; code IDs are
 // unchanged because all formats are order-preserving). Like Merge, the build
-// happens against an immutable snapshot with only the swap write-locked.
+// happens against the immutable current version, with one atomic store as
+// the only publication step.
 func (c *StringColumn) Rebuild(format dict.Format) {
 	c.RebuildWithOptions(format, MergeOptions{})
 }
@@ -401,45 +489,54 @@ func (c *StringColumn) RebuildWithOptions(format dict.Format, opts MergeOptions)
 	c.mergeMu.Lock()
 	defer c.mergeMu.Unlock()
 
-	c.mu.RLock()
-	old := c.dict
-	c.mu.RUnlock()
-	if format == old.Format() {
+	v := c.version.Load()
+	if format == v.dict.Format() {
 		return
 	}
-	newDict := dict.BuildUncheckedWithOptions(format, dictValuesOf(old),
+	newDict := dict.BuildUncheckedWithOptions(format, dictValuesOf(v.dict),
 		dict.BuildOptions{Parallelism: opts.BuildParallelism})
 
-	c.mu.Lock()
-	c.dict = newDict
-	c.mu.Unlock()
+	// v is still current: versions are only published under mergeMu.
+	c.version.Store(&columnVersion{
+		dict:       newDict,
+		codes:      v.codes,
+		nMain:      v.nMain,
+		sealed:     v.sealed,
+		sealedRows: v.sealedRows,
+	})
 }
 
 // DictBytes returns the main dictionary's memory footprint.
 func (c *StringColumn) DictBytes() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.dict.Bytes()
+	return c.version.Load().dict.Bytes()
 }
 
 // VectorBytes returns the code vector's memory footprint.
 func (c *StringColumn) VectorBytes() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.codes.Bytes()
+	return c.version.Load().codes.Bytes()
+}
+
+// deltaSegmentBytes estimates a delta segment's footprint.
+func deltaSegmentBytes(vals []string, rows []uint32) uint64 {
+	var b uint64
+	for _, v := range vals {
+		b += uint64(len(v)) + 16 + 8 // payload + header + map entry
+	}
+	return b + uint64(len(rows))*4
 }
 
 // Bytes returns the column's total footprint: dictionary, code vector, and
-// delta structures.
+// delta structures (sealed and active).
 func (c *StringColumn) Bytes() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var delta uint64
-	for _, v := range c.deltaVals {
-		delta += uint64(len(v)) + 16 + 8 // payload + header + map entry
+	v := c.version.Load()
+	b := v.dict.Bytes() + v.codes.Bytes()
+	for _, seg := range v.sealed {
+		b += deltaSegmentBytes(seg.vals, seg.rows)
 	}
-	delta += uint64(len(c.deltaRows)) * 4
-	return c.dict.Bytes() + c.codes.Bytes() + delta
+	c.appendMu.Lock()
+	b += deltaSegmentBytes(c.activeVals, c.activeRows)
+	c.appendMu.Unlock()
+	return b
 }
 
 func (c *StringColumn) String() string {

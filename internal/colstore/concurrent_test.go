@@ -1,12 +1,14 @@
 package colstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"strdict/internal/dict"
 )
@@ -32,7 +34,7 @@ func TestConcurrentMergeStress(t *testing.T) {
 	// Rotate through a few formats so merges also exercise format changes.
 	formats := []dict.Format{dict.FCBlock, dict.Array, dict.FCInline, dict.ArrayBC}
 	var mergeCount atomic.Int64
-	sched.Chooser = func(c *StringColumn, lifetimeNs float64) dict.Format {
+	sched.Chooser = func(snap *Snapshot, lifetimeNs float64) dict.Format {
 		return formats[int(mergeCount.Add(1))%len(formats)]
 	}
 
@@ -184,6 +186,132 @@ func TestMergeKeepsConcurrentAppends(t *testing.T) {
 	}
 }
 
+// TestSnapshotReadersVsDaemon races Snapshot readers against the background
+// merge daemon: writers append while the daemon merges on its own timer
+// (rotating formats), and every snapshot a reader takes must be internally
+// consistent — Len is fixed, every row below Len is readable, the same row
+// re-reads identically for the snapshot's lifetime, and ScanEq results agree
+// with Get. Runs under -race via scripts/check.sh.
+func TestSnapshotReadersVsDaemon(t *testing.T) {
+	const (
+		writers       = 3
+		rowsPerWriter = 2500
+		readers       = 4
+	)
+	s := NewStore()
+	tb := s.AddTable("t")
+	col := tb.AddString("c", dict.FCBlock)
+
+	sched := NewMergeScheduler(s, 300)
+	sched.Parallelism = 2
+	sched.Interval = time.Millisecond
+	formats := []dict.Format{dict.FCBlock, dict.Array, dict.FCInline, dict.ArrayBC}
+	var mergeCount atomic.Int64
+	sched.Chooser = func(snap *Snapshot, lifetimeNs float64) dict.Format {
+		return formats[int(mergeCount.Add(1))%len(formats)]
+	}
+	sched.Start(context.Background())
+
+	valueOf := func(w, i int) string { return fmt.Sprintf("w%d-%06d", w, i) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rowsPerWriter; i++ {
+				col.Append(valueOf(w, i))
+			}
+		}(w)
+	}
+
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errCh <- fmt.Errorf("reader %d panicked: %v", r, p)
+				}
+			}()
+			prevLen := 0
+			var rows []int
+			for iter := 0; iter < 300; iter++ {
+				snap := col.Snapshot()
+				n := snap.Len()
+				if n < prevLen {
+					errCh <- fmt.Errorf("reader %d: snapshot Len went backwards: %d -> %d", r, prevLen, n)
+					return
+				}
+				prevLen = n
+				if n != snap.Len() {
+					errCh <- fmt.Errorf("reader %d: Len unstable within one snapshot", r)
+					return
+				}
+				if n == 0 {
+					continue
+				}
+				// A sample of rows must read consistently twice.
+				for k := 0; k < 5; k++ {
+					row := (iter*7919 + k*104729) % n
+					first := snap.Get(row)
+					if !strings.HasPrefix(first, "w") {
+						errCh <- fmt.Errorf("reader %d: torn value %q", r, first)
+						return
+					}
+					if again := snap.Get(row); again != first {
+						errCh <- fmt.Errorf("reader %d: row %d changed within snapshot: %q -> %q", r, row, first, again)
+						return
+					}
+				}
+				// ScanEq and Get must agree on the same snapshot.
+				probe := valueOf(iter%writers, (iter*31)%rowsPerWriter)
+				rows = snap.ScanEq(probe, rows[:0])
+				for _, row := range rows {
+					if got := snap.Get(row); got != probe {
+						errCh <- fmt.Errorf("reader %d: ScanEq row %d holds %q, want %q", r, row, got, probe)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	if err := sched.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Close drained everything; the final state holds every appended row.
+	if got := col.Len(); got != writers*rowsPerWriter {
+		t.Fatalf("row count %d, want %d", got, writers*rowsPerWriter)
+	}
+	if col.DeltaRows() != 0 {
+		t.Fatalf("delta not empty after Close: %d rows", col.DeltaRows())
+	}
+	var want, have []string
+	for w := 0; w < writers; w++ {
+		for i := 0; i < rowsPerWriter; i++ {
+			want = append(want, valueOf(w, i))
+		}
+	}
+	for row := 0; row < col.Len(); row++ {
+		have = append(have, col.Get(row))
+	}
+	sort.Strings(want)
+	sort.Strings(have)
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("row multiset diverges at %d: %q vs %q", i, have[i], want[i])
+		}
+	}
+}
+
 // TestParallelMergeIdenticalDictionaries asserts the acceptance invariant:
 // merging a store serially or on the worker pool (including parallel
 // dictionary builds) yields identical dictionary bytes per column.
@@ -199,14 +327,14 @@ func TestParallelMergeIdenticalDictionaries(t *testing.T) {
 		}
 		return s
 	}
-	chooser := func(c *StringColumn, _ float64) dict.Format {
+	chooser := func(snap *Snapshot, _ float64) dict.Format {
 		// Pick per-column formats covering array, fc and df layouts.
 		switch {
-		case strings.HasSuffix(c.Name(), "0"):
+		case strings.HasSuffix(snap.Name(), "0"):
 			return dict.ArrayHU
-		case strings.HasSuffix(c.Name(), "1"):
+		case strings.HasSuffix(snap.Name(), "1"):
 			return dict.FCBlockDF
-		case strings.HasSuffix(c.Name(), "2"):
+		case strings.HasSuffix(snap.Name(), "2"):
 			return dict.FCBlockBC
 		default:
 			return dict.FCBlock

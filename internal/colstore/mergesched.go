@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,9 @@ import (
 
 	"strdict/internal/dict"
 )
+
+// DefaultMergeInterval is the daemon's timer period when Interval is unset.
+const DefaultMergeInterval = 50 * time.Millisecond
 
 // MergeScheduler drives the write-optimized-to-read-optimized merges of a
 // store, the moment Section 5 attaches the format decision to: "depending
@@ -17,29 +21,45 @@ import (
 // observed merge interval — the lifetime(d) that normalizes the manager's
 // time dimension.
 //
+// The scheduler runs in two modes. Cooperative: the ingest path calls Tick
+// periodically. Daemon: Start spawns a long-running goroutine with its own
+// timer that replaces cooperative Tick calls entirely, optionally installs
+// append backpressure (HighWaterMark), and Close shuts it down gracefully,
+// draining every remaining delta via Flush.
+//
 // Due columns merge concurrently on a bounded worker pool (Parallelism
 // workers, GOMAXPROCS by default); each column's merge follows the
-// snapshot-build-swap protocol of StringColumn, so queries keep running
-// against the old state until the swap. The Chooser is invoked from pool
-// workers and must therefore be safe for concurrent use (core.Manager is).
-// Tick and Flush themselves are serialized against each other internally;
-// interval bookkeeping is lock-protected and may be read concurrently via
-// LifetimeNs.
+// seal-build-publish protocol of StringColumn, so queries keep running
+// against the old version until the atomic publish. The Chooser is invoked
+// from pool workers and must therefore be safe for concurrent use
+// (core.Manager is). Tick and Flush are serialized against each other
+// internally; interval bookkeeping is lock-protected and may be read
+// concurrently via LifetimeNs.
 type MergeScheduler struct {
 	store *Store
 	// DeltaRowThreshold triggers a merge once a column's delta holds at
 	// least this many rows.
 	DeltaRowThreshold int
-	// Chooser decides the format at merge time; nil keeps each column's
-	// current format (fixed-format operation). It runs on pool workers, so
-	// it must be goroutine-safe when Parallelism != 1.
-	Chooser func(c *StringColumn, lifetimeNs float64) dict.Format
+	// Chooser decides the format at merge time from a snapshot pinning the
+	// column's pre-merge state (dictionary, counters, sizes); nil keeps each
+	// column's current format (fixed-format operation). It runs on pool
+	// workers, so it must be goroutine-safe when Parallelism != 1.
+	Chooser func(snap *Snapshot, lifetimeNs float64) dict.Format
 	// Parallelism bounds the worker pool merging due columns; 0 means
 	// GOMAXPROCS, 1 restores the serial path.
 	Parallelism int
 	// BuildParallelism is handed to each column merge's dictionary build
 	// (dict.BuildOptions.Parallelism); <= 1 builds each dictionary serially.
 	BuildParallelism int
+
+	// Interval is the daemon's timer period; 0 means DefaultMergeInterval.
+	// Set before Start.
+	Interval time.Duration
+	// HighWaterMark, when > 0, makes Append block once a column's active
+	// (unsealed) delta reaches this many rows, kicking the daemon for an
+	// immediate merge pass. Backpressure is installed by Start and removed
+	// by Close. Set before Start.
+	HighWaterMark int
 
 	// tickMu serializes Tick/Flush invocations so two overlapping calls
 	// cannot dispatch the same column to two workers.
@@ -50,6 +70,17 @@ type MergeScheduler struct {
 	lastInterval map[string]time.Duration
 
 	now func() time.Time // injectable clock for tests
+	// newTicker is the injectable timer source for the daemon loop; nil
+	// means time.NewTicker. It returns the tick channel and a stop func.
+	newTicker func(d time.Duration) (<-chan time.Time, func())
+
+	// Daemon state. kick is created once (never replaced), so Kick needs no
+	// lock and cannot deadlock against Close — Append calls Kick while
+	// holding a column's append mutex.
+	kick     chan struct{}
+	daemonMu sync.Mutex // guards cancel/done across Start/Close
+	cancel   context.CancelFunc
+	done     chan struct{}
 }
 
 // NewMergeScheduler returns a scheduler over the store's string columns.
@@ -60,6 +91,7 @@ func NewMergeScheduler(s *Store, deltaRowThreshold int) *MergeScheduler {
 		lastMerge:         make(map[string]time.Time),
 		lastInterval:      make(map[string]time.Duration),
 		now:               time.Now,
+		kick:              make(chan struct{}, 1),
 	}
 }
 
@@ -74,23 +106,112 @@ func (m *MergeScheduler) LifetimeNs(col string, fallback float64) float64 {
 	return fallback
 }
 
-// DeltaRows returns the number of delta rows of a column.
-func (c *StringColumn) DeltaRows() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.deltaRows)
+// Start launches the background merge daemon: a goroutine that runs a merge
+// pass every Interval and immediately when kicked by backpressure, without
+// any cooperative Tick calls from the ingest path. If HighWaterMark > 0 it
+// installs append backpressure on every string column of the store (columns
+// must be defined before Start, per the package DDL rule). Starting an
+// already-running daemon is a no-op. The daemon stops when ctx is cancelled
+// or Close is called.
+func (m *MergeScheduler) Start(ctx context.Context) {
+	m.daemonMu.Lock()
+	defer m.daemonMu.Unlock()
+	if m.done != nil {
+		return
+	}
+	interval := m.Interval
+	if interval <= 0 {
+		interval = DefaultMergeInterval
+	}
+	newTicker := m.newTicker
+	if newTicker == nil {
+		newTicker = func(d time.Duration) (<-chan time.Time, func()) {
+			t := time.NewTicker(d)
+			return t.C, t.Stop
+		}
+	}
+	if m.HighWaterMark > 0 {
+		for _, c := range m.store.StringColumns() {
+			c.setBackpressure(m.HighWaterMark, m.Kick)
+		}
+	}
+	ctx, m.cancel = context.WithCancel(ctx)
+	m.done = make(chan struct{})
+	go m.run(ctx, m.done, interval, newTicker)
 }
 
-// Tick checks every string column and merges those whose delta crossed the
-// threshold, consulting the Chooser for the new format. Due columns merge
-// in parallel on the scheduler's worker pool. It returns the names of the
-// merged columns in store order.
+// run is the daemon loop.
+func (m *MergeScheduler) run(ctx context.Context, done chan struct{}, interval time.Duration, newTicker func(time.Duration) (<-chan time.Time, func())) {
+	defer close(done)
+	tick, stop := newTicker(interval)
+	defer stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-m.kick:
+			// Backpressure engaged: merge columns at or past the high-water
+			// mark even when below the regular threshold, so the throttled
+			// appender is released as soon as its segment seals.
+			threshold := m.DeltaRowThreshold
+			if m.HighWaterMark > 0 && m.HighWaterMark < threshold {
+				threshold = m.HighWaterMark
+			}
+			m.tickAt(threshold)
+		case <-tick:
+			m.Tick()
+		}
+	}
+}
+
+// Kick requests an immediate merge pass from a running daemon. It never
+// blocks and is safe from any goroutine — including a backpressured Append
+// holding its column's append mutex.
+func (m *MergeScheduler) Kick() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the daemon goroutine (waiting for it to exit), removes append
+// backpressure, and drains every remaining delta via Flush. A scheduler
+// that was never started just flushes. The scheduler may be started again
+// afterwards.
+func (m *MergeScheduler) Close() error {
+	m.daemonMu.Lock()
+	cancel, done := m.cancel, m.done
+	m.cancel, m.done = nil, nil
+	m.daemonMu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	for _, c := range m.store.StringColumns() {
+		c.setBackpressure(0, nil)
+	}
+	m.Flush()
+	return nil
+}
+
+// Tick checks every string column and merges those whose delta (sealed +
+// active segments) crossed the threshold, consulting the Chooser for the
+// new format. Due columns merge in parallel on the scheduler's worker pool.
+// It returns the names of the merged columns in store order — the order
+// Store.StringColumns lists them, regardless of which worker ran which
+// merge.
 func (m *MergeScheduler) Tick() []string {
+	return m.tickAt(m.DeltaRowThreshold)
+}
+
+// tickAt is Tick with an explicit threshold (the daemon's kick path lowers
+// it to the high-water mark).
+func (m *MergeScheduler) tickAt(threshold int) []string {
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
 	var due []*StringColumn
 	for _, c := range m.store.StringColumns() {
-		if c.DeltaRows() >= m.DeltaRowThreshold {
+		if c.DeltaRows() >= threshold {
 			due = append(due, c)
 		}
 	}
@@ -112,7 +233,9 @@ func (m *MergeScheduler) Flush() []string {
 }
 
 // mergeColumns merges the due columns on a bounded worker pool and returns
-// their names in dispatch order (matching the serial path's output).
+// their names in store order — the order they were collected, which is also
+// the serial path's merge order. Workers claim columns off an atomic
+// cursor, so completion order varies, but the returned slice does not.
 func (m *MergeScheduler) mergeColumns(due []*StringColumn) []string {
 	if len(due) == 0 {
 		return nil
@@ -167,8 +290,12 @@ func (m *MergeScheduler) mergeColumn(c *StringColumn) {
 
 	format := c.Format()
 	if m.Chooser != nil {
+		// The Chooser reads a snapshot pinning the pre-merge state: one
+		// consistent (dict, codes, counters) view, unaffected by appends or
+		// other merges racing this decision.
+		snap := c.Snapshot()
 		lifetime := m.LifetimeNs(name, float64(time.Minute))
-		format = m.Chooser(c, lifetime)
+		format = m.Chooser(snap, lifetime)
 	}
 	c.MergeWithOptions(format, MergeOptions{BuildParallelism: m.BuildParallelism})
 }

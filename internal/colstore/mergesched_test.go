@@ -39,6 +39,38 @@ func TestMergeSchedulerThreshold(t *testing.T) {
 	}
 }
 
+// TestMergeOrderStoreOrderParallel pins the documented contract that Tick
+// (and Flush) report merged column names in store order even when the
+// worker pool merges them in arbitrary completion order.
+func TestMergeOrderStoreOrderParallel(t *testing.T) {
+	s := NewStore()
+	tb := s.AddTable("t")
+	var want []string
+	for k := 0; k < 8; k++ {
+		c := tb.AddString(fmt.Sprintf("c%d", k), dict.Array)
+		for i := 0; i < 10+k*7; i++ { // uneven sizes: merges finish out of order
+			c.Append(fmt.Sprintf("v%d-%04d", k, i))
+		}
+		want = append(want, c.Name())
+	}
+	m := NewMergeScheduler(s, 1)
+	m.Parallelism = 4
+	for round := 0; round < 5; round++ {
+		got := m.Tick()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: merged %v, want %v", round, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: merge order %v, want store order %v", round, got, want)
+			}
+		}
+		for k := 0; k < 8; k++ { // make every column due again
+			tb.Str(fmt.Sprintf("c%d", k)).Append(fmt.Sprintf("r%d-%d", round, k))
+		}
+	}
+}
+
 func TestMergeSchedulerLifetimeTracking(t *testing.T) {
 	s := NewStore()
 	tb := s.AddTable("t")
@@ -67,9 +99,11 @@ func TestMergeSchedulerChooser(t *testing.T) {
 	tb := s.AddTable("t")
 	c := tb.AddString("c", dict.FCInline)
 	var sawLifetime float64
+	var sawRows int
 	m := NewMergeScheduler(s, 1)
-	m.Chooser = func(col *StringColumn, lifetimeNs float64) dict.Format {
+	m.Chooser = func(snap *Snapshot, lifetimeNs float64) dict.Format {
 		sawLifetime = lifetimeNs
+		sawRows = snap.Len()
 		return dict.ArrayFixed
 	}
 	for i := 0; i < 10; i++ {
@@ -81,6 +115,9 @@ func TestMergeSchedulerChooser(t *testing.T) {
 	}
 	if sawLifetime <= 0 {
 		t.Fatal("chooser saw no lifetime")
+	}
+	if sawRows != 10 {
+		t.Fatalf("chooser snapshot saw %d rows, want 10", sawRows)
 	}
 	for i, want := 0, ""; i < 10; i++ {
 		want = fmt.Sprintf("%03d", i)

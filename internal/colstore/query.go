@@ -5,18 +5,23 @@ package colstore
 // translate the smaller dictionary into the other side's code space, and
 // only final result materialization extracts strings. These helpers produce
 // exactly the dictionary access profile the compression manager's time
-// model feeds on.
+// model feeds on. Each helper pins one column version (or an explicit
+// Snapshot) for its whole run, so a concurrent merge can never tear the
+// ID space mid-plan.
 
 // TranslateCodes maps every value ID of src's dictionary to the matching
 // value ID in dst's dictionary, or -1 when dst does not contain the value.
 // It costs src.DictLen() extracts plus as many locates on dst — the standard
-// dictionary-translation join of column stores.
+// dictionary-translation join of column stores. Both dictionaries are pinned
+// via snapshots, so the mapping is resolved against one consistent pair even
+// while merges run.
 func TranslateCodes(src, dst *StringColumn) []int64 {
-	out := make([]int64, src.DictLen())
+	ss, ds := src.Snapshot(), dst.Snapshot()
+	out := make([]int64, ss.DictLen())
 	var buf []byte
 	for id := range out {
-		buf = src.AppendExtract(buf[:0], uint32(id))
-		if did, found := dst.Locate(string(buf)); found {
+		buf = ss.AppendExtract(buf[:0], uint32(id))
+		if did, found := ds.Locate(string(buf)); found {
 			out[id] = int64(did)
 		} else {
 			out[id] = -1
@@ -27,29 +32,27 @@ func TranslateCodes(src, dst *StringColumn) []int64 {
 
 // RowIndexByCode builds an index from value ID to the (single) row holding
 // it. Intended for key columns, where every value occurs exactly once; for
-// repeated values the last row wins. It reads only the code vector, no
-// dictionary operations.
+// repeated values the last row wins. It reads only the code vector of one
+// pinned version — no dictionary operations, no locks.
 func (c *StringColumn) RowIndexByCode() []int32 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	idx := make([]int32, c.dict.Len())
+	v := c.version.Load()
+	idx := make([]int32, v.dict.Len())
 	for i := range idx {
 		idx[i] = -1
 	}
-	for row := 0; row < c.nMain; row++ {
-		idx[c.codes.Get(row)] = int32(row)
+	for row := 0; row < v.nMain; row++ {
+		idx[v.codes.Get(row)] = int32(row)
 	}
 	return idx
 }
 
 // RowsByCode groups the main-part rows by value ID. It reads only the code
-// vector.
+// vector of one pinned version.
 func (c *StringColumn) RowsByCode() [][]int32 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([][]int32, c.dict.Len())
-	for row := 0; row < c.nMain; row++ {
-		code := c.codes.Get(row)
+	v := c.version.Load()
+	out := make([][]int32, v.dict.Len())
+	for row := 0; row < v.nMain; row++ {
+		code := v.codes.Get(row)
 		out[code] = append(out[code], int32(row))
 	}
 	return out
@@ -57,12 +60,14 @@ func (c *StringColumn) RowsByCode() [][]int32 {
 
 // CodeSet returns the set of value IDs whose strings satisfy pred. pred is
 // evaluated once per distinct value (DictLen extracts), not once per row —
-// the dictionary's second superpower after compression.
+// the dictionary's second superpower after compression. The dictionary is
+// pinned for the whole evaluation.
 func (c *StringColumn) CodeSet(pred func(string) bool) map[uint32]bool {
+	s := c.Snapshot()
 	out := make(map[uint32]bool)
 	var buf []byte
-	for id := 0; id < c.DictLen(); id++ {
-		buf = c.AppendExtract(buf[:0], uint32(id))
+	for id := 0; id < s.DictLen(); id++ {
+		buf = s.AppendExtract(buf[:0], uint32(id))
 		if pred(string(buf)) {
 			out[uint32(id)] = true
 		}

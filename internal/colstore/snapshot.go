@@ -1,0 +1,192 @@
+package colstore
+
+import "strdict/internal/dict"
+
+// Snapshot pins one consistent, immutable view of a StringColumn: the
+// published version (dictionary, code vector, sealed delta segments) plus a
+// frozen prefix of the active delta segment captured at snapshot time.
+//
+// Contract:
+//
+//   - Consistency: every method observes the same (dict, codes, rows) state;
+//     value IDs, row values and Len never change for the snapshot's
+//     lifetime, no matter how many appends, merges or rebuilds run
+//     concurrently.
+//   - Staleness: the view is the column as of the Snapshot call; rows
+//     appended and formats chosen afterwards are invisible. Take a fresh
+//     snapshot per query.
+//   - No copy: a snapshot is a handful of pointers into structures that are
+//     immutable (or append-only past the captured length). Taking one is
+//     O(1) — a single atomic load when the column has no unsealed rows, a
+//     brief mutex acquisition otherwise — and holding one only pins the old
+//     version's memory until released to the GC.
+//
+// Snapshot methods update the column's access counters (they are atomic
+// trace counters, not synchronization), so traced workloads may run on
+// snapshots.
+type Snapshot struct {
+	col *StringColumn
+	v   *columnVersion
+
+	// Frozen prefix of the active segment at snapshot time. The backing
+	// arrays are append-only, so capturing length-capped slices pins a
+	// consistent prefix while the writer keeps appending.
+	tailVals []string
+	tailRows []uint32
+}
+
+// Snapshot returns a handle pinning the column's current state. A fully
+// merged column (no unsealed rows) is snapshot with a single atomic load;
+// otherwise the active prefix is captured under the append mutex (O(1)).
+func (c *StringColumn) Snapshot() *Snapshot {
+	v := c.version.Load()
+	if int64(v.rows()) == c.totalRows.Load() {
+		// No rows beyond the published version at the time of the load: the
+		// version alone is a complete view. (totalRows is monotone and
+		// v.rows() <= totalRows always, so equality proves emptiness of the
+		// active segment at that instant.)
+		return &Snapshot{col: c, v: v}
+	}
+	c.appendMu.Lock()
+	defer c.appendMu.Unlock()
+	// Reload under the lock: the version/active boundary only moves at seal
+	// time, which also holds appendMu, so this pair is consistent.
+	v = c.version.Load()
+	return &Snapshot{
+		col:      c,
+		v:        v,
+		tailVals: c.activeVals[:len(c.activeVals):len(c.activeVals)],
+		tailRows: c.activeRows[:len(c.activeRows):len(c.activeRows)],
+	}
+}
+
+// Name returns the column name.
+func (s *Snapshot) Name() string { return s.col.name }
+
+// Len returns the number of rows visible in the snapshot.
+func (s *Snapshot) Len() int { return s.v.rows() + len(s.tailRows) }
+
+// MainRows returns the number of rows in the read-optimized main part.
+func (s *Snapshot) MainRows() int { return s.v.nMain }
+
+// DeltaRows returns the number of delta rows (sealed + captured active
+// prefix) visible in the snapshot.
+func (s *Snapshot) DeltaRows() int { return s.v.sealedRows + len(s.tailRows) }
+
+// Format returns the pinned main dictionary's format.
+func (s *Snapshot) Format() dict.Format { return s.v.dict.Format() }
+
+// DictLen returns the number of distinct values in the pinned dictionary.
+func (s *Snapshot) DictLen() int { return s.v.dict.Len() }
+
+// DictBytes returns the pinned dictionary's memory footprint.
+func (s *Snapshot) DictBytes() uint64 { return s.v.dict.Bytes() }
+
+// VectorBytes returns the pinned code vector's memory footprint.
+func (s *Snapshot) VectorBytes() uint64 { return s.v.codes.Bytes() }
+
+// DictValues materializes the sorted distinct values of the pinned
+// dictionary. Like StringColumn.DictValues it bypasses the access counters.
+func (s *Snapshot) DictValues() []string { return dictValuesOf(s.v.dict) }
+
+// Stats returns the column's cumulative access counters. The counters are
+// live (they keep advancing as others read the column); they are trace
+// data, not part of the pinned structural state.
+func (s *Snapshot) Stats() AccessStats { return s.col.Stats() }
+
+// Get returns the value at the given row (counted as an extract for main
+// rows). No locks are taken.
+func (s *Snapshot) Get(row int) string {
+	v := s.v
+	if row < v.nMain {
+		s.col.extracts.Add(1)
+		return v.dict.Extract(uint32(v.codes.Get(row)))
+	}
+	if row < v.rows() {
+		return v.sealedValue(row - v.nMain)
+	}
+	return s.tailVals[s.tailRows[row-v.rows()]]
+}
+
+// AppendGet appends the value at row to dst (allocation-free main-part
+// read).
+func (s *Snapshot) AppendGet(dst []byte, row int) []byte {
+	v := s.v
+	if row < v.nMain {
+		s.col.extracts.Add(1)
+		return v.dict.AppendExtract(dst, uint32(v.codes.Get(row)))
+	}
+	if row < v.rows() {
+		return append(dst, v.sealedValue(row-v.nMain)...)
+	}
+	return append(dst, s.tailVals[s.tailRows[row-v.rows()]]...)
+}
+
+// Code returns the main-part value ID at a row; rows in the delta return
+// ok == false. IDs from one snapshot are mutually consistent for its whole
+// lifetime — the cross-call guarantee the live column cannot give.
+func (s *Snapshot) Code(row int) (uint32, bool) {
+	if row < s.v.nMain {
+		return uint32(s.v.codes.Get(row)), true
+	}
+	return 0, false
+}
+
+// Locate returns the value ID of value in the pinned dictionary (counted).
+func (s *Snapshot) Locate(value string) (uint32, bool) {
+	s.col.locates.Add(1)
+	return s.v.dict.Locate(value)
+}
+
+// Extract returns the string for a pinned-dictionary value ID (counted).
+func (s *Snapshot) Extract(id uint32) string {
+	s.col.extracts.Add(1)
+	return s.v.dict.Extract(id)
+}
+
+// AppendExtract is the allocation-free variant of Extract (counted).
+func (s *Snapshot) AppendExtract(dst []byte, id uint32) []byte {
+	s.col.extracts.Add(1)
+	return s.v.dict.AppendExtract(dst, id)
+}
+
+// CodeRange translates a string range [lo, hi) into a value-ID range
+// [loID, hiID) against the pinned dictionary. Two locates are counted.
+func (s *Snapshot) CodeRange(lo, hi string) (uint32, uint32) {
+	s.col.locates.Add(2)
+	loID, _ := s.v.dict.Locate(lo)
+	hiID, _ := s.v.dict.Locate(hi)
+	return loID, hiID
+}
+
+// ScanEq appends to out the rows whose value equals value: the main part by
+// code comparison (one locate), sealed segments through their interned
+// indexes, and the captured active prefix by direct comparison.
+func (s *Snapshot) ScanEq(value string, out []int) []int {
+	v := s.v
+	s.col.locates.Add(1)
+	if id, found := v.dict.Locate(value); found {
+		for row := 0; row < v.nMain; row++ {
+			if uint32(v.codes.Get(row)) == id {
+				out = append(out, row)
+			}
+		}
+	}
+	off := v.nMain
+	for _, seg := range v.sealed {
+		if dcode, ok := seg.index[value]; ok {
+			for i, dc := range seg.rows {
+				if dc == dcode {
+					out = append(out, off+i)
+				}
+			}
+		}
+		off += len(seg.rows)
+	}
+	for i, dc := range s.tailRows {
+		if s.tailVals[dc] == value {
+			out = append(out, off+i)
+		}
+	}
+	return out
+}

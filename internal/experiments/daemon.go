@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"strdict/internal/colstore"
+	"strdict/internal/core"
+	"strdict/internal/dict"
+	"strdict/internal/tpch"
+)
+
+// DaemonReport runs the online counterpart of Figure 10's offline protocol:
+// a TPC-H refresh stream ingests new orders and lineitems while the
+// background merge daemon folds deltas into the read-optimized main parts on
+// its own timer, consulting the compression manager for the dictionary
+// format at every merge. The query workload runs concurrently with the
+// merges — no cooperative Tick call appears anywhere, and readers never
+// block on a merge thanks to the versioned read path. The report shows
+// per-round ingest and query times and the adaptive configuration the
+// manager converged on.
+func DaemonReport(w io.Writer, cfg TPCHConfig, rounds int) {
+	cfg.FillDefaults()
+	if rounds <= 0 {
+		rounds = 3
+	}
+	s := tpch.Load(tpch.Config{
+		ScaleFactor:   cfg.ScaleFactor,
+		Seed:          cfg.Seed,
+		InitialFormat: dict.FCInline,
+	})
+	mgr := core.NewManager(core.Options{DesiredFreeBytes: 1 << 30})
+	mgr.SetC(0.5)
+
+	sched := colstore.NewMergeScheduler(s, 10_000)
+	sched.Interval = 2 * time.Millisecond
+	sched.HighWaterMark = 200_000
+	sched.Parallelism = cfg.Parallelism
+	sched.Chooser = func(snap *colstore.Snapshot, lifetimeNs float64) dict.Format {
+		return mgr.ChooseFormat(tpch.SnapshotStatsOf(snap, lifetimeNs, cfg.SampleRatio, cfg.Seed)).Format
+	}
+	sched.Start(context.Background())
+
+	fmt.Fprintf(w, "Background merge daemon on a TPC-H refresh stream (SF %g)\n", cfg.ScaleFactor)
+	fmt.Fprintf(w, "%-6s %12s %14s %14s\n", "round", "rows added", "ingest", "queries")
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		added := tpch.RefreshInsert(s, cfg.Seed+int64(r), 0.1)
+		ingest := time.Since(t0)
+		t0 = time.Now()
+		tpch.RunAll(s)
+		queries := time.Since(t0)
+		fmt.Fprintf(w, "%-6d %12d %14v %14v\n",
+			r+1, added, ingest.Round(time.Microsecond), queries.Round(time.Millisecond))
+	}
+	if err := sched.Close(); err != nil {
+		fmt.Fprintf(w, "daemon close: %v\n", err)
+		return
+	}
+
+	var left int
+	for _, c := range s.StringColumns() {
+		left += c.DeltaRows()
+	}
+	fmt.Fprintf(w, "after Close: %d delta rows remain across %d string columns\n",
+		left, len(s.StringColumns()))
+	fmt.Fprintln(w, "adaptive configuration chosen at merge time:")
+	fmt.Fprint(w, SortedFormatCounts(tpch.FormatDistribution(s)))
+}

@@ -62,11 +62,13 @@ type TPCHPoint struct {
 	RelMem, RelTime float64
 }
 
-// tracedColumn snapshots one column's workload statistics and dictionary
-// sample, so configuration decisions are reproducible while measurement
-// runs keep bumping the live counters.
+// tracedColumn pins one column's post-trace state: a colstore snapshot
+// (dictionary, sizes) plus the counter values and sample at trace end, so
+// configuration decisions are reproducible while measurement runs keep
+// bumping the live counters and rebuilding dictionaries.
 type tracedColumn struct {
 	col    *colstore.StringColumn
+	snap   *colstore.Snapshot
 	stats  colstore.AccessStats
 	sample *model.Sample
 }
@@ -98,24 +100,27 @@ func NewTPCHExperiment(cfg TPCHConfig) *TPCHExperiment {
 		costs:      model.DefaultCostTable(),
 	}
 	for _, c := range s.StringColumns() {
+		snap := c.Snapshot()
 		e.traced = append(e.traced, tracedColumn{
 			col:    c,
-			stats:  c.Stats(),
-			sample: model.TakeSample(c.DictValues(), cfg.SampleRatio, cfg.Seed),
+			snap:   snap,
+			stats:  snap.Stats(),
+			sample: model.TakeSample(snap.DictValues(), cfg.SampleRatio, cfg.Seed),
 		})
 	}
 	return e
 }
 
-// statsOf assembles the manager input from the snapshot.
+// statsOf assembles the manager input from the pinned snapshot: the decision
+// inputs cannot drift even while measurement runs rebuild the live columns.
 func (e *TPCHExperiment) statsOf(tc tracedColumn) core.ColumnStats {
 	return core.ColumnStats{
-		Name:              tc.col.Name(),
-		NumStrings:        uint64(tc.col.DictLen()),
+		Name:              tc.snap.Name(),
+		NumStrings:        uint64(tc.snap.DictLen()),
 		Extracts:          tc.stats.Extracts,
 		Locates:           tc.stats.Locates,
 		LifetimeNs:        e.LifetimeNs,
-		ColumnVectorBytes: tc.col.VectorBytes(),
+		ColumnVectorBytes: tc.snap.VectorBytes(),
 		Sample:            tc.sample,
 	}
 }

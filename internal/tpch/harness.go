@@ -47,17 +47,25 @@ func TraceWorkload(s *colstore.Store, reps int) time.Duration {
 }
 
 // ColumnStatsOf assembles the compression manager's input for one column
-// from its traced access counters and a sample of its dictionary.
+// from its traced access counters and a sample of its dictionary. All reads
+// go through one pinned snapshot, so the statistics describe a single
+// consistent column state.
 func ColumnStatsOf(c *colstore.StringColumn, lifetimeNs float64, sampleRatio float64, seed int64) core.ColumnStats {
-	st := c.Stats()
+	return SnapshotStatsOf(c.Snapshot(), lifetimeNs, sampleRatio, seed)
+}
+
+// SnapshotStatsOf is ColumnStatsOf against an explicit pinned snapshot —
+// the form a merge-time Chooser uses.
+func SnapshotStatsOf(s *colstore.Snapshot, lifetimeNs float64, sampleRatio float64, seed int64) core.ColumnStats {
+	st := s.Stats()
 	return core.ColumnStats{
-		Name:              c.Name(),
-		NumStrings:        uint64(c.DictLen()),
+		Name:              s.Name(),
+		NumStrings:        uint64(s.DictLen()),
 		Extracts:          st.Extracts,
 		Locates:           st.Locates,
 		LifetimeNs:        lifetimeNs,
-		ColumnVectorBytes: c.VectorBytes(),
-		Sample:            model.TakeSample(c.DictValues(), sampleRatio, seed),
+		ColumnVectorBytes: s.VectorBytes(),
+		Sample:            model.TakeSample(s.DictValues(), sampleRatio, seed),
 	}
 }
 

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -84,36 +85,31 @@ func TestUpdateWorkloadAvoidsExpensiveConstruction(t *testing.T) {
 	}
 }
 
-// TestMergeSchedulerOnRefreshStream wires RefreshInsert, the MergeScheduler
-// and the compression manager together: an online update stream with
-// adaptive format decisions at every merge.
-func TestMergeSchedulerOnRefreshStream(t *testing.T) {
+// TestMergeDaemonOnRefreshStream wires RefreshInsert, the background merge
+// daemon and the compression manager together: an online update stream with
+// adaptive format decisions at every merge, no cooperative Tick calls —
+// merges overlap the read workload on the daemon's own timer.
+func TestMergeDaemonOnRefreshStream(t *testing.T) {
 	s := Load(Config{ScaleFactor: 0.002, Seed: 2, InitialFormat: dict.FCInline})
 	mgr := core.NewManager(core.Options{DesiredFreeBytes: 1 << 30})
 	mgr.SetC(1)
 
 	sched := colstore.NewMergeScheduler(s, 50)
-	sched.Chooser = func(c *colstore.StringColumn, lifetimeNs float64) dict.Format {
-		st := c.Stats()
-		return mgr.ChooseFormat(core.ColumnStats{
-			Name:              c.Name(),
-			NumStrings:        uint64(c.DictLen()),
-			Extracts:          st.Extracts,
-			Locates:           st.Locates,
-			LifetimeNs:        lifetimeNs,
-			ColumnVectorBytes: c.VectorBytes(),
-			Sample:            model.TakeSample(c.DictValues(), 1.0, 1),
-		}).Format
+	sched.Interval = time.Millisecond
+	sched.Chooser = func(snap *colstore.Snapshot, lifetimeNs float64) dict.Format {
+		return mgr.ChooseFormat(SnapshotStatsOf(snap, lifetimeNs, 1.0, 1)).Format
 	}
+	sched.Start(context.Background())
 
 	for round := 0; round < 3; round++ {
 		RefreshInsert(s, int64(round), 0.2)
-		RunAll(s) // read workload between refreshes
-		sched.Tick()
+		RunAll(s) // read workload overlapping background merges
 	}
-	sched.Flush()
+	if err := sched.Close(); err != nil {
+		t.Fatal(err)
+	}
 
-	// All deltas folded in; data remains queryable and consistent.
+	// Close drained every delta; data remains queryable and consistent.
 	for _, c := range s.StringColumns() {
 		if c.DeltaRows() != 0 {
 			t.Fatalf("%s still has %d delta rows", c.Name(), c.DeltaRows())

@@ -35,8 +35,10 @@
 package strdict
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"strdict/internal/colstore"
 	"strdict/internal/core"
@@ -174,8 +176,16 @@ type Store = colstore.Store
 type Table = colstore.Table
 
 // StringColumn is a dictionary-encoded string column with main and delta
-// parts.
+// parts. Reads of the main part are lock-free: the column's read state is
+// published through an atomic version pointer.
 type StringColumn = colstore.StringColumn
+
+// Snapshot pins one consistent, immutable view of a StringColumn —
+// dictionary, code vector and delta — so an analytical scan can run a whole
+// query against one (dict, codes) pair with zero per-row synchronization.
+// Taking a snapshot is O(1) and copies no data; the view is the column as of
+// the Snapshot call and never changes afterwards.
+type Snapshot = colstore.Snapshot
 
 // Int64Column is a plain numeric column.
 type Int64Column = colstore.Int64Column
@@ -187,17 +197,26 @@ type Float64Column = colstore.Float64Column
 func NewStore() *Store { return colstore.NewStore() }
 
 // ColumnStatsOf assembles the manager's input for a column from its traced
-// access counters, lifetime, and a dictionary sample.
+// access counters, lifetime, and a dictionary sample. It pins one snapshot
+// for all reads, so the statistics describe a single column state even while
+// merges run.
 func ColumnStatsOf(c *StringColumn, lifetimeNs float64, sampleRatio float64, seed int64) ColumnStats {
-	st := c.Stats()
+	return ColumnStatsOfSnapshot(c.Snapshot(), lifetimeNs, sampleRatio, seed)
+}
+
+// ColumnStatsOfSnapshot is ColumnStatsOf against an explicit pinned
+// snapshot — the form merge-time Choosers use, since the scheduler hands
+// them the snapshot it decided on.
+func ColumnStatsOfSnapshot(s *Snapshot, lifetimeNs float64, sampleRatio float64, seed int64) ColumnStats {
+	st := s.Stats()
 	return ColumnStats{
-		Name:              c.Name(),
-		NumStrings:        uint64(c.DictLen()),
+		Name:              s.Name(),
+		NumStrings:        uint64(s.DictLen()),
 		Extracts:          st.Extracts,
 		Locates:           st.Locates,
 		LifetimeNs:        lifetimeNs,
-		ColumnVectorBytes: c.VectorBytes(),
-		Sample:            model.TakeSample(c.DictValues(), sampleRatio, seed),
+		ColumnVectorBytes: s.VectorBytes(),
+		Sample:            model.TakeSample(s.DictValues(), sampleRatio, seed),
 	}
 }
 
@@ -268,7 +287,9 @@ func Unmarshal(data []byte) (Dictionary, error) { return dict.Unmarshal(data) }
 // intervals (the lifetime that normalizes the manager's time dimension).
 // Due columns merge concurrently on its bounded worker pool (Parallelism
 // field; GOMAXPROCS by default) while readers keep querying the old column
-// state until each column's atomic swap.
+// version until each column's atomic publish. Call Start to run it as a
+// background daemon with its own timer and append backpressure, Close for
+// graceful shutdown; or call Tick cooperatively from the ingest path.
 type MergeScheduler = colstore.MergeScheduler
 
 // MergeOptions tunes a merge's dictionary reconstruction.
@@ -279,6 +300,56 @@ type MergeOptions = colstore.MergeOptions
 // merge time.
 func NewMergeScheduler(s *Store, deltaRowThreshold int) *MergeScheduler {
 	return colstore.NewMergeScheduler(s, deltaRowThreshold)
+}
+
+// DaemonOptions configures StartMergeDaemon.
+type DaemonOptions struct {
+	// DeltaRowThreshold triggers a merge once a column's delta holds this
+	// many rows; <= 0 defaults to 64k rows.
+	DeltaRowThreshold int
+	// Interval is the daemon's timer period; 0 uses the scheduler default.
+	Interval time.Duration
+	// HighWaterMark, when > 0, throttles Append once a column's unsealed
+	// delta reaches this many rows (backpressure).
+	HighWaterMark int
+	// Parallelism bounds the merge worker pool (0 = GOMAXPROCS) and
+	// BuildParallelism the per-dictionary build pool (<= 1 serial).
+	Parallelism      int
+	BuildParallelism int
+	// SampleRatio and Seed parameterize the dictionary sampling behind each
+	// merge-time format decision; ratio <= 0 defaults to 0.01.
+	SampleRatio float64
+	Seed        int64
+}
+
+// StartMergeDaemon wires a MergeScheduler to a Manager and starts it as a
+// long-running background daemon: merges run on the daemon's own timer (and
+// immediately under backpressure), each consulting the manager on a pinned
+// snapshot of the column, with no cooperative Tick calls from the ingest
+// path. A nil manager keeps every column's current format. Stop it with
+// Close (drains all deltas) or by cancelling ctx.
+func StartMergeDaemon(ctx context.Context, s *Store, mgr *Manager, opts DaemonOptions) *MergeScheduler {
+	threshold := opts.DeltaRowThreshold
+	if threshold <= 0 {
+		threshold = 64 << 10
+	}
+	sched := NewMergeScheduler(s, threshold)
+	sched.Interval = opts.Interval
+	sched.HighWaterMark = opts.HighWaterMark
+	sched.Parallelism = opts.Parallelism
+	sched.BuildParallelism = opts.BuildParallelism
+	if mgr != nil {
+		ratio := opts.SampleRatio
+		if ratio <= 0 {
+			ratio = 0.01
+		}
+		seed := opts.Seed
+		sched.Chooser = func(snap *Snapshot, lifetimeNs float64) Format {
+			return mgr.ChooseFormat(ColumnStatsOfSnapshot(snap, lifetimeNs, ratio, seed)).Format
+		}
+	}
+	sched.Start(ctx)
+	return sched
 }
 
 // Advice summarizes the decision space for one column: the pareto-optimal
