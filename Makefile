@@ -18,8 +18,11 @@ vet:
 
 # Read-path gate: versioned lock-free reads vs the RWMutex baseline, plus
 # merge throughput; writes BENCH_read_path.json.
+# Partial-merge gate: partial-fold policy vs always-full merges on a hot
+# append stream; writes BENCH_partial_merge.json.
 bench:
 	sh scripts/bench_read_path.sh
+	sh scripts/bench_partial_merge.sh
 
 # Every figure and ablation benchmark, one iteration each.
 bench-all:

@@ -6,12 +6,15 @@
 package strdict_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"strdict"
 
@@ -323,6 +326,54 @@ func BenchmarkSnapshotScan(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkPartialMergePolicy compares the daemon's partial-fold policy
+// against the always-full-merge baseline on a hot append stream with a
+// bounded value domain (the workload the policy exists for: after warm-up
+// every fold is an identity fold that rewrites only the folded rows).
+// Each iteration is one Append against a live daemon; two extra metrics
+// are reported per variant: rewritten-rows/merge (main-part rows re-encoded
+// per merge, the write-amplification the partial path removes) and
+// stall-p99-ns (99th-percentile Append latency, dominated by backpressure
+// waits at the high-water mark). scripts/bench_partial_merge.sh records
+// both in BENCH_partial_merge.json and gates on them.
+func BenchmarkPartialMergePolicy(b *testing.B) {
+	const domain = 2000
+	vals := make([]string, domain)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%06d", i)
+	}
+	run := func(b *testing.B, partial bool) {
+		store := strdict.NewStore()
+		col := store.AddTable("bench").AddString("c", strdict.FCInline)
+		sched := strdict.NewMergeScheduler(store, 4000)
+		sched.Interval = time.Millisecond
+		sched.HighWaterMark = 8000
+		sched.PartialMerges = partial
+		sched.Start(context.Background())
+
+		lat := make([]time.Duration, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			col.Append(vals[i%domain])
+			lat[i] = time.Since(t0)
+		}
+		b.StopTimer()
+		if err := sched.Close(); err != nil {
+			b.Fatal(err)
+		}
+		st := sched.ColumnMergeStats("bench.c")
+		if merges := st.Full + st.Partial; merges > 0 {
+			b.ReportMetric(float64(st.RowsRewritten)/float64(merges), "rewritten-rows/merge")
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99 := lat[min(len(lat)*99/100, len(lat)-1)]
+		b.ReportMetric(float64(p99), "stall-p99-ns")
+	}
+	b.Run("full", func(b *testing.B) { run(b, false) })
+	b.Run("partial", func(b *testing.B) { run(b, true) })
 }
 
 // --- ablations ---

@@ -34,15 +34,18 @@ func main() {
 	sample := flag.Float64("sample", 0.01, "sampling ratio for the size models")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker pool for per-column format selection (1 = serial)")
+	partial := flag.Bool("partial", false,
+		"daemon figure only: fold hot columns partially instead of full merges")
 	flag.Parse()
 
 	cfg := experiments.TPCHConfig{
-		ScaleFactor: *sf,
-		Seed:        *seed,
-		TraceReps:   *trace,
-		MeasureReps: *reps,
-		SampleRatio: *sample,
-		Parallelism: *parallel,
+		ScaleFactor:   *sf,
+		Seed:          *seed,
+		TraceReps:     *trace,
+		MeasureReps:   *reps,
+		SampleRatio:   *sample,
+		Parallelism:   *parallel,
+		PartialMerges: *partial,
 	}
 	if *figure == "daemon" {
 		// No offline trace: the daemon report is the online protocol.

@@ -36,12 +36,19 @@ func main() {
 	// manager for its format at merge time; dictionary builds fan out across
 	// blocks too. The high-water mark throttles ingest if the daemon falls
 	// behind, so the delta can never grow without bound.
+	// PartialMerges keeps hot columns cheap: under backpressure the daemon
+	// folds only the oldest sealed segments (format unchanged) instead of
+	// rebuilding the whole main part; full merges — and the manager's format
+	// choice — land once a column cools down or at Close. AdaptiveInterval
+	// retunes the timer from the observed append rates.
 	sched := strdict.StartMergeDaemon(context.Background(), store, mgr, strdict.DaemonOptions{
 		DeltaRowThreshold: 20_000,
 		Interval:          5 * time.Millisecond,
 		HighWaterMark:     40_000,
 		Parallelism:       runtime.GOMAXPROCS(0),
 		BuildParallelism:  runtime.GOMAXPROCS(0),
+		PartialMerges:     true,
+		AdaptiveInterval:  true,
 	})
 
 	// The ingest loop contains no merge calls at all — merges overlap it on

@@ -28,9 +28,12 @@
 // held, and finally publishes the new version with one atomic store. Appends
 // racing the build land in the new active segment and are untouched by the
 // publish: the boundary between published rows and active rows only moves at
-// seal time, which holds the append mutex. Merge/Rebuild/seal serialize on
-// mergeMu, so there is exactly one publisher at a time; readers are never
-// blocked, not even for a swap.
+// seal time, which holds the append mutex. Merge/MergePartial/Rebuild/seal
+// serialize on mergeMu, so there is exactly one publisher at a time; readers
+// are never blocked, not even for a swap. A partial merge (MergePartial)
+// folds only the oldest sealed segments, advancing the main/sealed boundary
+// without draining the whole delta — the hot-column path that avoids paying
+// a full dictionary rebuild per backpressure kick.
 //
 // Backpressure: a merge daemon (see MergeScheduler.Start) may install a
 // high-water mark; Append then blocks once the active segment reaches that
@@ -63,6 +66,21 @@ type MergeOptions struct {
 	// goroutines encoding independent dictionary parts during the rebuild.
 	// <= 1 builds serially; the resulting dictionary is bit-identical.
 	BuildParallelism int
+}
+
+// MergeResult reports what a merge actually did, so schedulers can keep
+// honest bookkeeping (a dispatch that found nothing to fold must not count
+// as a merge) and benchmarks can measure rows rewritten per merge.
+type MergeResult struct {
+	// Folded is the number of delta rows moved into the main part.
+	Folded int
+	// Rewritten is the number of rows whose codes were re-encoded into a new
+	// code vector. A full merge rewrites every main and delta row; a partial
+	// fold that introduces no new dictionary values rewrites only the folded
+	// rows (the main vector is extended, not rebuilt).
+	Rewritten int
+	// DictBuilt reports whether the main dictionary was reconstructed.
+	DictBuilt bool
 }
 
 // deltaSegment is one sealed chunk of the write-optimized delta. Once a
@@ -174,6 +192,12 @@ func (c *StringColumn) Len() int { return int(c.totalRows.Load()) }
 func (c *StringColumn) DeltaRows() int {
 	v := c.version.Load()
 	return int(c.totalRows.Load()) - v.nMain
+}
+
+// SealedSegments returns the number of sealed (immutable) delta segments in
+// the published version — the units a partial merge folds. One atomic load.
+func (c *StringColumn) SealedSegments() int {
+	return len(c.version.Load().sealed)
 }
 
 // DictLen returns the number of distinct values in the main dictionary.
@@ -379,8 +403,8 @@ func (c *StringColumn) sealActive() *columnVersion {
 // Merge folds the delta part into the main part, rebuilding the dictionary
 // in the given format. This is the reconstruction point where the
 // compression manager's decision is applied for free.
-func (c *StringColumn) Merge(format dict.Format) {
-	c.MergeWithOptions(format, MergeOptions{})
+func (c *StringColumn) Merge(format dict.Format) MergeResult {
+	return c.MergeWithOptions(format, MergeOptions{})
 }
 
 // MergeWithOptions is Merge with construction tuning. The merge first seals
@@ -390,52 +414,23 @@ func (c *StringColumn) Merge(format dict.Format) {
 // Rows appended during the build land in the new active segment and keep
 // their positions; with no concurrent appends the result is identical to the
 // serial merge.
-func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) {
+//
+// A merge that would change nothing — empty delta and unchanged format — is
+// skipped and reports a zero MergeResult.
+func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) MergeResult {
 	c.mergeMu.Lock()
 	defer c.mergeMu.Unlock()
 
 	v := c.sealActive()
+	if v.sealedRows == 0 && format == v.dict.Format() {
+		return MergeResult{}
+	}
 	oldVals := dictValuesOf(v.dict)
-
-	// Distinct delta values across all sealed segments, sorted. Values may
-	// repeat between segments; dedupe after sorting.
-	var deltaVals []string
-	for _, seg := range v.sealed {
-		deltaVals = append(deltaVals, seg.vals...)
-	}
-	sort.Strings(deltaVals)
-	deltaVals = dedupeSorted(deltaVals)
-
-	// Union of old dictionary and distinct delta values.
-	merged := make([]string, 0, len(oldVals)+len(deltaVals))
-	i, j := 0, 0
-	for i < len(oldVals) || j < len(deltaVals) {
-		switch {
-		case j >= len(deltaVals):
-			merged = append(merged, oldVals[i])
-			i++
-		case i >= len(oldVals):
-			merged = append(merged, deltaVals[j])
-			j++
-		case oldVals[i] < deltaVals[j]:
-			merged = append(merged, oldVals[i])
-			i++
-		case oldVals[i] > deltaVals[j]:
-			merged = append(merged, deltaVals[j])
-			j++
-		default:
-			merged = append(merged, oldVals[i])
-			i++
-			j++
-		}
-	}
+	merged := unionSorted(oldVals, distinctSegmentValues(v.sealed))
 
 	// Remap old main codes and per-segment delta codes to the merged ID
 	// space.
-	oldToNew := make([]uint32, len(oldVals))
-	for oi, val := range oldVals {
-		oldToNew[oi] = uint32(sort.SearchStrings(merged, val))
-	}
+	oldToNew := remapSorted(oldVals, merged)
 	n := v.rows()
 	newCodes := make([]uint64, n)
 	for row := 0; row < v.nMain; row++ {
@@ -443,10 +438,7 @@ func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) {
 	}
 	off := v.nMain
 	for _, seg := range v.sealed {
-		segToNew := make([]uint32, len(seg.vals))
-		for si, val := range seg.vals {
-			segToNew[si] = uint32(sort.SearchStrings(merged, val))
-		}
+		segToNew := remapSorted(seg.vals, merged)
 		for ri, dc := range seg.rows {
 			newCodes[off+ri] = uint64(segToNew[dc])
 		}
@@ -462,6 +454,162 @@ func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) {
 	// lock is needed; rows appended since the seal stay in the active
 	// segment.
 	c.version.Store(&columnVersion{dict: newDict, codes: newVec, nMain: n})
+	return MergeResult{Folded: v.sealedRows, Rewritten: n, DictBuilt: true}
+}
+
+// MergePartial folds only the oldest k sealed delta segments into the main
+// part, keeping the current dictionary format. See MergePartialWithOptions.
+func (c *StringColumn) MergePartial(k int) MergeResult {
+	return c.MergePartialWithOptions(k, MergeOptions{})
+}
+
+// MergePartialWithOptions folds the oldest k sealed delta segments into the
+// main part, advancing the main/sealed boundary without draining the whole
+// delta. The active segment is sealed first — releasing any appender blocked
+// on backpressure — and becomes the newest sealed segment; it and every
+// segment newer than the folded prefix are untouched (their per-segment code
+// spaces need no remap, since sealed-segment codes are local to each
+// segment). The dictionary format is never changed: partial folds are the
+// hot-column path where paying a format decision (and the full rebuild it
+// may imply) per backpressure kick is exactly the cost being avoided.
+//
+// When the folded segments introduce no new distinct values the dictionary
+// is reused as-is and the main code vector is extended with one appended
+// part (intcomp.Concat) — only the folded rows are re-encoded. Otherwise the
+// dictionary is rebuilt in the same format over the union and every row
+// below the new boundary is remapped, exactly like a full merge restricted
+// to the folded prefix.
+//
+// k <= 0 is a no-op; k is clamped to the number of sealed segments (after
+// the seal). The publish follows the same seal-build-swap protocol as
+// MergeWithOptions: readers are never blocked, and a Snapshot taken at any
+// point observes either the old or the new boundary, never a mix.
+func (c *StringColumn) MergePartialWithOptions(k int, opts MergeOptions) MergeResult {
+	if k <= 0 {
+		return MergeResult{}
+	}
+	c.mergeMu.Lock()
+	defer c.mergeMu.Unlock()
+
+	v := c.sealActive()
+	if len(v.sealed) == 0 {
+		return MergeResult{}
+	}
+	if k > len(v.sealed) {
+		k = len(v.sealed)
+	}
+	fold := v.sealed[:k]
+	keep := v.sealed[k:len(v.sealed):len(v.sealed)]
+	foldRows := 0
+	for _, seg := range fold {
+		foldRows += len(seg.rows)
+	}
+
+	oldVals := dictValuesOf(v.dict)
+	merged := unionSorted(oldVals, distinctSegmentValues(fold))
+	nMain := v.nMain + foldRows
+
+	var newDict dict.Dictionary
+	var newVec intcomp.Vector
+	rewritten := foldRows
+	dictBuilt := false
+	if len(merged) == len(oldVals) {
+		// No new distinct values: the dictionary and every main-row code are
+		// unchanged. Encode only the folded rows and append them as a new
+		// vector part — the main vector is shared, not rewritten.
+		newDict = v.dict
+		tail := make([]uint64, foldRows)
+		off := 0
+		for _, seg := range fold {
+			segToNew := remapSorted(seg.vals, merged)
+			for ri, dc := range seg.rows {
+				tail[off+ri] = uint64(segToNew[dc])
+			}
+			off += len(seg.rows)
+		}
+		newVec = intcomp.Concat(v.codes, intcomp.PackAuto(tail))
+	} else {
+		// New values shift IDs (order preservation): rebuild the dictionary
+		// in the same format and remap everything below the new boundary.
+		oldToNew := remapSorted(oldVals, merged)
+		newCodes := make([]uint64, nMain)
+		for row := 0; row < v.nMain; row++ {
+			newCodes[row] = uint64(oldToNew[v.codes.Get(row)])
+		}
+		off := v.nMain
+		for _, seg := range fold {
+			segToNew := remapSorted(seg.vals, merged)
+			for ri, dc := range seg.rows {
+				newCodes[off+ri] = uint64(segToNew[dc])
+			}
+			off += len(seg.rows)
+		}
+		newDict = dict.BuildUncheckedWithOptions(v.dict.Format(), merged,
+			dict.BuildOptions{Parallelism: opts.BuildParallelism})
+		newVec = intcomp.PackAuto(newCodes)
+		rewritten = nMain
+		dictBuilt = true
+	}
+
+	// Publish: the boundary advances past the folded segments; newer sealed
+	// segments keep their positions because the folded prefix covered
+	// exactly the rows between the old and new boundary.
+	c.version.Store(&columnVersion{
+		dict:       newDict,
+		codes:      newVec,
+		nMain:      nMain,
+		sealed:     keep,
+		sealedRows: v.sealedRows - foldRows,
+	})
+	return MergeResult{Folded: foldRows, Rewritten: rewritten, DictBuilt: dictBuilt}
+}
+
+// distinctSegmentValues returns the sorted distinct values across the given
+// sealed segments. Values may repeat between segments; dedupe after sorting.
+func distinctSegmentValues(segs []*deltaSegment) []string {
+	var vals []string
+	for _, seg := range segs {
+		vals = append(vals, seg.vals...)
+	}
+	sort.Strings(vals)
+	return dedupeSorted(vals)
+}
+
+// unionSorted merges two sorted unique slices into their sorted union.
+func unionSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// remapSorted maps each value (all present in merged) to its ID in the
+// merged sorted value set.
+func remapSorted(vals, merged []string) []uint32 {
+	out := make([]uint32, len(vals))
+	for i, val := range vals {
+		out[i] = uint32(sort.SearchStrings(merged, val))
+	}
+	return out
 }
 
 // dedupeSorted removes adjacent duplicates from a sorted slice in place.

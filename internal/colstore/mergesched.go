@@ -27,14 +27,26 @@ const DefaultMergeInterval = 50 * time.Millisecond
 // append backpressure (HighWaterMark), and Close shuts it down gracefully,
 // draining every remaining delta via Flush.
 //
+// A policy layer picks per column between two merge kinds. A full merge
+// rebuilds the whole main part and consults the Chooser, so the dictionary
+// format may change — the right move when the threshold is crossed on a
+// cooling column, where the rebuild is amortized over a long lifetime. A
+// partial fold (PartialMerges) folds only the oldest sealed delta segments,
+// keeping the format — the right move on a hot column under backpressure,
+// where paying a full dictionary rebuild per kick is exactly the
+// access-latency cost adaptive compression tries to avoid. Hotness comes
+// from a per-column append-rate estimate (exponentially weighted, updated
+// each pass) that can also drive the daemon timer (AdaptiveInterval): idle
+// stores wake rarely, hot stores merge continuously.
+//
 // Due columns merge concurrently on a bounded worker pool (Parallelism
 // workers, GOMAXPROCS by default); each column's merge follows the
 // seal-build-publish protocol of StringColumn, so queries keep running
 // against the old version until the atomic publish. The Chooser is invoked
 // from pool workers and must therefore be safe for concurrent use
 // (core.Manager is). Tick and Flush are serialized against each other
-// internally; interval bookkeeping is lock-protected and may be read
-// concurrently via LifetimeNs.
+// internally; bookkeeping is lock-protected and may be read concurrently
+// via LifetimeNs, ColumnMergeStats and AppendRate.
 type MergeScheduler struct {
 	store *Store
 	// DeltaRowThreshold triggers a merge once a column's delta holds at
@@ -43,7 +55,8 @@ type MergeScheduler struct {
 	// Chooser decides the format at merge time from a snapshot pinning the
 	// column's pre-merge state (dictionary, counters, sizes); nil keeps each
 	// column's current format (fixed-format operation). It runs on pool
-	// workers, so it must be goroutine-safe when Parallelism != 1.
+	// workers, so it must be goroutine-safe when Parallelism != 1. Partial
+	// folds never consult it: they keep the current format by design.
 	Chooser func(snap *Snapshot, lifetimeNs float64) dict.Format
 	// Parallelism bounds the worker pool merging due columns; 0 means
 	// GOMAXPROCS, 1 restores the serial path.
@@ -52,8 +65,25 @@ type MergeScheduler struct {
 	// (dict.BuildOptions.Parallelism); <= 1 builds each dictionary serially.
 	BuildParallelism int
 
-	// Interval is the daemon's timer period; 0 means DefaultMergeInterval.
-	// Set before Start.
+	// PartialMerges enables the partial-fold path: backpressure kicks (and
+	// timer passes over columns appending at or above the hot rate) fold
+	// only enough oldest sealed segments to bring the delta back under the
+	// threshold, instead of draining it with a full rebuild. Flush (and
+	// therefore Close) always merges fully. Set before Start.
+	PartialMerges bool
+	// HotRowsPerSec is the append rate at or above which a column counts as
+	// hot for the partial policy; <= 0 derives DeltaRowThreshold rows/sec
+	// (the column refills a whole delta every second). Set before Start.
+	HotRowsPerSec float64
+	// AdaptiveInterval derives the daemon's timer period from observed
+	// append rates: the period targets two passes per delta fill for the
+	// hottest column, quantized to a power-of-two ladder within
+	// [Interval/8, Interval*8]. Set before Start.
+	AdaptiveInterval bool
+
+	// Interval is the daemon's timer period (the adaptive ladder's base when
+	// AdaptiveInterval is set); 0 means DefaultMergeInterval. Set before
+	// Start.
 	Interval time.Duration
 	// HighWaterMark, when > 0, makes Append block once a column's active
 	// (unsealed) delta reaches this many rows, kicking the daemon for an
@@ -65,9 +95,8 @@ type MergeScheduler struct {
 	// cannot dispatch the same column to two workers.
 	tickMu sync.Mutex
 
-	mu           sync.Mutex // guards the interval maps below
-	lastMerge    map[string]time.Time
-	lastInterval map[string]time.Duration
+	mu    sync.Mutex // guards stats
+	stats map[string]*colMergeState
 
 	now func() time.Time // injectable clock for tests
 	// newTicker is the injectable timer source for the daemon loop; nil
@@ -76,11 +105,47 @@ type MergeScheduler struct {
 
 	// Daemon state. kick is created once (never replaced), so Kick needs no
 	// lock and cannot deadlock against Close — Append calls Kick while
-	// holding a column's append mutex.
+	// holding a column's append mutex. daemonMu serializes Start and Close
+	// in full: Close holds it across the daemon wait and backpressure
+	// strip, so Start can never observe a half-closed scheduler.
 	kick     chan struct{}
-	daemonMu sync.Mutex // guards cancel/done across Start/Close
+	daemonMu sync.Mutex
 	cancel   context.CancelFunc
 	done     chan struct{}
+}
+
+// colMergeState is the per-column bookkeeping: full-merge interval (the
+// lifetime(d) fed to the Chooser), merge counters by kind, rewrite volumes,
+// and the append-rate estimate.
+type colMergeState struct {
+	lastFull         time.Time     // completion time of the last full merge that folded rows
+	lastFullInterval time.Duration // interval between the last two such merges
+	full, partial    int           // merges that actually folded rows, by kind
+	rowsFolded       uint64        // delta rows moved into main, cumulative
+	rowsRewritten    uint64        // rows re-encoded into new code vectors, cumulative
+
+	lastRows   int64     // Len() at the last rate observation
+	lastRateAt time.Time // time of the last rate observation
+	rateValid  bool      // at least one complete measurement exists
+	ratePerSec float64   // EWMA of the append rate
+}
+
+// MergeStats summarizes one column's merge history. Full and Partial count
+// only merges that actually folded rows — dispatches that found a drained
+// delta are skipped and recorded nowhere.
+type MergeStats struct {
+	// Full and Partial count merges by kind.
+	Full, Partial int
+	// RowsFolded is the cumulative number of delta rows moved into the main
+	// part; RowsRewritten the cumulative number of rows re-encoded into new
+	// code vectors (the work a merge actually pays for).
+	RowsFolded, RowsRewritten uint64
+	// LastFullInterval is the interval between the last two full merges
+	// (zero until the column has fully merged twice). Partial folds do not
+	// shrink it — see LifetimeNs.
+	LastFullInterval time.Duration
+	// AppendRate is the current append-rate estimate in rows/sec.
+	AppendRate float64
 }
 
 // NewMergeScheduler returns a scheduler over the store's string columns.
@@ -88,22 +153,65 @@ func NewMergeScheduler(s *Store, deltaRowThreshold int) *MergeScheduler {
 	return &MergeScheduler{
 		store:             s,
 		DeltaRowThreshold: deltaRowThreshold,
-		lastMerge:         make(map[string]time.Time),
-		lastInterval:      make(map[string]time.Duration),
+		stats:             make(map[string]*colMergeState),
 		now:               time.Now,
 		kick:              make(chan struct{}, 1),
 	}
 }
 
-// LifetimeNs returns the column's last observed merge interval in
-// nanoseconds, or the fallback if it has not merged twice yet.
+// stat returns the column's bookkeeping entry, creating it if needed. The
+// caller must hold mu.
+func (m *MergeScheduler) stat(col string) *colMergeState {
+	st, ok := m.stats[col]
+	if !ok {
+		st = &colMergeState{}
+		m.stats[col] = st
+	}
+	return st
+}
+
+// LifetimeNs returns the column's last observed full-merge interval in
+// nanoseconds, or the fallback if it has not fully merged twice yet. Only
+// merges that actually folded rows count, and partial folds are excluded:
+// lifetime(d) normalizes the manager's time dimension by how long a format
+// decision lives, and a partial fold neither makes nor invalidates one.
+// Partial-fold history is reported separately via ColumnMergeStats.
 func (m *MergeScheduler) LifetimeNs(col string, fallback float64) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if iv, ok := m.lastInterval[col]; ok && iv > 0 {
-		return float64(iv)
+	if st, ok := m.stats[col]; ok && st.lastFullInterval > 0 {
+		return float64(st.lastFullInterval)
 	}
 	return fallback
+}
+
+// ColumnMergeStats returns the column's merge bookkeeping.
+func (m *MergeScheduler) ColumnMergeStats(col string) MergeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.stats[col]
+	if !ok {
+		return MergeStats{}
+	}
+	return MergeStats{
+		Full:             st.full,
+		Partial:          st.partial,
+		RowsFolded:       st.rowsFolded,
+		RowsRewritten:    st.rowsRewritten,
+		LastFullInterval: st.lastFullInterval,
+		AppendRate:       st.ratePerSec,
+	}
+}
+
+// AppendRate returns the column's current append-rate estimate in rows per
+// second (0 until two passes have observed it).
+func (m *MergeScheduler) AppendRate(col string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.stats[col]; ok && st.rateValid {
+		return st.ratePerSec
+	}
+	return 0
 }
 
 // Start launches the background merge daemon: a goroutine that runs a merge
@@ -111,8 +219,9 @@ func (m *MergeScheduler) LifetimeNs(col string, fallback float64) float64 {
 // any cooperative Tick calls from the ingest path. If HighWaterMark > 0 it
 // installs append backpressure on every string column of the store (columns
 // must be defined before Start, per the package DDL rule). Starting an
-// already-running daemon is a no-op. The daemon stops when ctx is cancelled
-// or Close is called.
+// already-running daemon is a no-op; a Start concurrent with Close blocks
+// until the Close has fully finished, then starts fresh. The daemon stops
+// when ctx is cancelled or Close is called.
 func (m *MergeScheduler) Start(ctx context.Context) {
 	m.daemonMu.Lock()
 	defer m.daemonMu.Unlock()
@@ -141,10 +250,11 @@ func (m *MergeScheduler) Start(ctx context.Context) {
 }
 
 // run is the daemon loop.
-func (m *MergeScheduler) run(ctx context.Context, done chan struct{}, interval time.Duration, newTicker func(time.Duration) (<-chan time.Time, func())) {
+func (m *MergeScheduler) run(ctx context.Context, done chan struct{}, base time.Duration, newTicker func(time.Duration) (<-chan time.Time, func())) {
 	defer close(done)
-	tick, stop := newTicker(interval)
-	defer stop()
+	cur := base
+	tick, stop := newTicker(cur)
+	defer func() { stop() }()
 	for {
 		select {
 		case <-ctx.Done():
@@ -157,11 +267,51 @@ func (m *MergeScheduler) run(ctx context.Context, done chan struct{}, interval t
 			if m.HighWaterMark > 0 && m.HighWaterMark < threshold {
 				threshold = m.HighWaterMark
 			}
-			m.tickAt(threshold)
+			m.tickAt(threshold, modeKick)
 		case <-tick:
-			m.Tick()
+			m.tickAt(m.DeltaRowThreshold, modeTimer)
+		}
+		if m.AdaptiveInterval {
+			if want := m.adaptiveInterval(base); want != cur {
+				stop()
+				tick, stop = newTicker(want)
+				cur = want
+			}
 		}
 	}
+}
+
+// adaptiveInterval derives the timer period from the hottest column's
+// append rate: two passes per delta fill, quantized to the power-of-two
+// ladder [base/8, base*8]. With no rate measurements yet it stays at base;
+// a fully idle store settles on the slowest rung.
+func (m *MergeScheduler) adaptiveInterval(base time.Duration) time.Duration {
+	maxRate, seen := 0.0, false
+	m.mu.Lock()
+	for _, st := range m.stats {
+		if st.rateValid {
+			seen = true
+			if st.ratePerSec > maxRate {
+				maxRate = st.ratePerSec
+			}
+		}
+	}
+	m.mu.Unlock()
+	if !seen {
+		return base
+	}
+	if maxRate <= 0 {
+		return 8 * base
+	}
+	desired := time.Duration(float64(m.DeltaRowThreshold) / (2 * maxRate) * float64(time.Second))
+	best := base / 8
+	if best <= 0 {
+		best = base
+	}
+	for r := best * 2; r <= 8*base && r <= desired; r *= 2 {
+		best = r
+	}
+	return best
 }
 
 // Kick requests an immediate merge pass from a running daemon. It never
@@ -178,14 +328,21 @@ func (m *MergeScheduler) Kick() {
 // backpressure, and drains every remaining delta via Flush. A scheduler
 // that was never started just flushes. The scheduler may be started again
 // afterwards.
+//
+// Close holds the daemon lock for its entire duration, so a concurrent
+// Start cannot interleave with the shutdown: it either runs to completion
+// before Close begins, or blocks until Close has stopped the daemon and
+// stripped backpressure, then starts a fresh daemon. Without this, a Start
+// racing the wait could observe the cleared daemon state, spawn a second
+// daemon, and install a high-water mark the in-flight Close immediately
+// removes — leaving a daemon with no backpressure, or two tickers.
 func (m *MergeScheduler) Close() error {
 	m.daemonMu.Lock()
-	cancel, done := m.cancel, m.done
-	m.cancel, m.done = nil, nil
-	m.daemonMu.Unlock()
-	if cancel != nil {
-		cancel()
-		<-done
+	defer m.daemonMu.Unlock()
+	if m.cancel != nil {
+		m.cancel()
+		<-m.done
+		m.cancel, m.done = nil, nil
 	}
 	for _, c := range m.store.StringColumns() {
 		c.setBackpressure(0, nil)
@@ -194,52 +351,101 @@ func (m *MergeScheduler) Close() error {
 	return nil
 }
 
+// mergeMode tells the merge pass what triggered it: the daemon timer, a
+// backpressure kick, or a drain (Flush/Close). The policy layer uses it —
+// kicks prefer partial folds on a hot column, drains always merge fully.
+type mergeMode int
+
+const (
+	modeTimer mergeMode = iota
+	modeKick
+	modeFlush
+)
+
 // Tick checks every string column and merges those whose delta (sealed +
 // active segments) crossed the threshold, consulting the Chooser for the
 // new format. Due columns merge in parallel on the scheduler's worker pool.
-// It returns the names of the merged columns in store order — the order
-// Store.StringColumns lists them, regardless of which worker ran which
-// merge.
+// It returns the names of the columns that actually merged, in store order
+// — the order Store.StringColumns lists them, regardless of which worker
+// ran which merge. A column collected as due but drained by the time a
+// worker claimed it (a racing scheduler or explicit Merge) is skipped and
+// not reported.
 func (m *MergeScheduler) Tick() []string {
-	return m.tickAt(m.DeltaRowThreshold)
+	return m.tickAt(m.DeltaRowThreshold, modeTimer)
 }
 
 // tickAt is Tick with an explicit threshold (the daemon's kick path lowers
-// it to the high-water mark).
-func (m *MergeScheduler) tickAt(threshold int) []string {
+// it to the high-water mark) and trigger mode.
+func (m *MergeScheduler) tickAt(threshold int, mode mergeMode) []string {
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
+	cols := m.store.StringColumns()
+	m.observeRates(cols)
 	var due []*StringColumn
-	for _, c := range m.store.StringColumns() {
+	for _, c := range cols {
 		if c.DeltaRows() >= threshold {
 			due = append(due, c)
 		}
 	}
-	return m.mergeColumns(due)
+	return m.mergeColumns(due, mode)
 }
 
 // Flush merges every column that has any delta rows, regardless of the
-// threshold (shutdown / checkpoint path).
+// threshold (shutdown / checkpoint path). Flush always merges fully — a
+// partial fold would leave sealed segments behind, defeating the drain.
 func (m *MergeScheduler) Flush() []string {
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
+	cols := m.store.StringColumns()
+	m.observeRates(cols)
 	var due []*StringColumn
-	for _, c := range m.store.StringColumns() {
+	for _, c := range cols {
 		if c.DeltaRows() > 0 {
 			due = append(due, c)
 		}
 	}
-	return m.mergeColumns(due)
+	return m.mergeColumns(due, modeFlush)
+}
+
+// observeRates updates every column's append-rate estimate (EWMA over the
+// rows appended since the previous pass). Passes with a non-advancing clock
+// (injected clocks in tests) are skipped. Caller holds tickMu.
+func (m *MergeScheduler) observeRates(cols []*StringColumn) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range cols {
+		st := m.stat(c.Name())
+		rows := int64(c.Len())
+		if st.lastRateAt.IsZero() {
+			st.lastRows, st.lastRateAt = rows, now
+			continue
+		}
+		elapsed := now.Sub(st.lastRateAt).Seconds()
+		if elapsed <= 0 {
+			continue
+		}
+		inst := float64(rows-st.lastRows) / elapsed
+		if st.rateValid {
+			st.ratePerSec = 0.5*st.ratePerSec + 0.5*inst
+		} else {
+			st.ratePerSec = inst
+			st.rateValid = true
+		}
+		st.lastRows, st.lastRateAt = rows, now
+	}
 }
 
 // mergeColumns merges the due columns on a bounded worker pool and returns
-// their names in store order — the order they were collected, which is also
-// the serial path's merge order. Workers claim columns off an atomic
-// cursor, so completion order varies, but the returned slice does not.
-func (m *MergeScheduler) mergeColumns(due []*StringColumn) []string {
+// the names of those that actually folded rows, in store order — the order
+// they were collected, which is also the serial path's merge order. Workers
+// claim columns off an atomic cursor, so completion order varies, but the
+// returned slice does not.
+func (m *MergeScheduler) mergeColumns(due []*StringColumn, mode mergeMode) []string {
 	if len(due) == 0 {
 		return nil
 	}
+	merged := make([]bool, len(due))
 	workers := m.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -249,8 +455,8 @@ func (m *MergeScheduler) mergeColumns(due []*StringColumn) []string {
 	}
 
 	if workers <= 1 {
-		for _, c := range due {
-			m.mergeColumn(c)
+		for i, c := range due {
+			merged[i] = m.mergeColumn(c, mode)
 		}
 	} else {
 		var cursor atomic.Int64
@@ -264,29 +470,83 @@ func (m *MergeScheduler) mergeColumns(due []*StringColumn) []string {
 					if i >= len(due) {
 						return
 					}
-					m.mergeColumn(due[i])
+					merged[i] = m.mergeColumn(due[i], mode)
 				}
 			}()
 		}
 		wg.Wait()
 	}
 
-	names := make([]string, len(due))
+	var names []string
 	for i, c := range due {
-		names[i] = c.Name()
+		if merged[i] {
+			names = append(names, c.Name())
+		}
 	}
 	return names
 }
 
-func (m *MergeScheduler) mergeColumn(c *StringColumn) {
-	now := m.now()
-	name := c.Name()
-	m.mu.Lock()
-	if prev, ok := m.lastMerge[name]; ok {
-		m.lastInterval[name] = now.Sub(prev)
+// usePartial decides the merge kind for one due column: partial when the
+// pass was a backpressure kick (the stalled appender is hotness made
+// manifest) or when the column's append rate marks it hot; full otherwise.
+func (m *MergeScheduler) usePartial(c *StringColumn, mode mergeMode) bool {
+	if !m.PartialMerges || mode == modeFlush {
+		return false
 	}
-	m.lastMerge[name] = now
-	m.mu.Unlock()
+	if mode == modeKick {
+		return true
+	}
+	hot := m.HotRowsPerSec
+	if hot <= 0 {
+		hot = float64(m.DeltaRowThreshold)
+	}
+	return m.AppendRate(c.Name()) >= hot
+}
+
+// partialFoldCount picks how many oldest sealed segments a partial fold
+// should cover: just enough to bring the delta back under the threshold
+// (with the seal releasing the blocked appender), and always at least one
+// segment so the boundary advances.
+func (m *MergeScheduler) partialFoldCount(c *StringColumn) int {
+	v := c.version.Load()
+	excess := c.DeltaRows() - m.DeltaRowThreshold
+	k, folded := 0, 0
+	for _, seg := range v.sealed {
+		if k >= 1 && folded >= excess {
+			break
+		}
+		k++
+		folded += len(seg.rows)
+	}
+	if k == 0 {
+		k = 1 // nothing sealed yet: fold the segment the merge will seal
+	}
+	return k
+}
+
+// mergeColumn runs one column's merge under the policy layer, returning
+// whether any rows were folded.
+func (m *MergeScheduler) mergeColumn(c *StringColumn, mode mergeMode) bool {
+	// Re-check under the claim: the column may have been drained between
+	// collection and this worker claiming it (another scheduler, an
+	// explicit Merge, or the kick path racing the timer path). Running the
+	// merge anyway would rebuild the whole dictionary over an empty delta
+	// and skew the lifetime bookkeeping below.
+	if c.DeltaRows() == 0 {
+		return false
+	}
+	name := c.Name()
+	// The merge is stamped at dispatch time: the interval bookkeeping then
+	// measures merge-to-merge distance independent of build duration (and
+	// the injected test clocks only need to advance between passes).
+	start := m.now()
+	opts := MergeOptions{BuildParallelism: m.BuildParallelism}
+
+	if m.usePartial(c, mode) {
+		res := c.MergePartialWithOptions(m.partialFoldCount(c), opts)
+		m.record(name, start, res, false)
+		return res.Folded > 0
+	}
 
 	format := c.Format()
 	if m.Chooser != nil {
@@ -297,5 +557,32 @@ func (m *MergeScheduler) mergeColumn(c *StringColumn) {
 		lifetime := m.LifetimeNs(name, float64(time.Minute))
 		format = m.Chooser(snap, lifetime)
 	}
-	c.MergeWithOptions(format, MergeOptions{BuildParallelism: m.BuildParallelism})
+	res := c.MergeWithOptions(format, opts)
+	m.record(name, start, res, true)
+	return res.Folded > 0
+}
+
+// record books a finished merge. Merges that folded nothing leave the
+// bookkeeping untouched: a no-op pass (or a drained-by-race dispatch) must
+// not shrink the observed merge interval that normalizes the manager's
+// time dimension, and partial folds are counted separately so LifetimeNs
+// keeps describing full-merge lifetimes only.
+func (m *MergeScheduler) record(name string, now time.Time, res MergeResult, full bool) {
+	if res.Folded == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stat(name)
+	st.rowsFolded += uint64(res.Folded)
+	st.rowsRewritten += uint64(res.Rewritten)
+	if full {
+		st.full++
+		if !st.lastFull.IsZero() {
+			st.lastFullInterval = now.Sub(st.lastFull)
+		}
+		st.lastFull = now
+	} else {
+		st.partial++
+	}
 }

@@ -94,6 +94,90 @@ func TestMergeSchedulerLifetimeTracking(t *testing.T) {
 	}
 }
 
+// TestMergeSkipsStaleDispatch pins the stale-dispatch fix: a column
+// collected as due but drained before a worker claims it (a racing explicit
+// Merge, or a concurrent scheduler) is skipped — not merged, not reported in
+// the returned names, and no interval bookkeeping is recorded for it.
+func TestMergeSkipsStaleDispatch(t *testing.T) {
+	s := NewStore()
+	tb := s.AddTable("t")
+	stale := tb.AddString("stale", dict.Array)
+	live := tb.AddString("live", dict.Array)
+	m := NewMergeScheduler(s, 1)
+
+	stale.Append("x")
+	live.Append("y")
+	stale.Merge(stale.Format()) // racing explicit merge drains the delta
+
+	// Dispatch both directly, as Tick would have after collecting them.
+	names := m.mergeColumns([]*StringColumn{stale, live}, modeTimer)
+	if len(names) != 1 || names[0] != "t.live" {
+		t.Fatalf("merged %v, want [t.live]", names)
+	}
+	if st := m.ColumnMergeStats("t.stale"); st.Full != 0 || st.Partial != 0 {
+		t.Fatalf("stale dispatch recorded a merge: %+v", st)
+	}
+	if st := m.ColumnMergeStats("t.live"); st.Full != 1 {
+		t.Fatalf("live column not recorded: %+v", st)
+	}
+}
+
+// TestLifetimeUnaffectedByPartialAndNoOp pins the lifetime(d) bookkeeping
+// contract: LifetimeNs measures the interval between *full* merges that
+// actually folded rows. Partial folds and no-op passes must leave it
+// untouched, while still being visible through ColumnMergeStats.
+func TestLifetimeUnaffectedByPartialAndNoOp(t *testing.T) {
+	s := NewStore()
+	c := s.AddTable("t").AddString("c", dict.Array)
+	m := NewMergeScheduler(s, 4)
+	m.PartialMerges = true
+	clock := time.Unix(1000, 0)
+	m.now = func() time.Time { return clock }
+
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			c.Append(fmt.Sprintf("v%06d", c.Len()))
+		}
+	}
+
+	// Two timer merges 5s apart establish lifetime = 5s. The injected append
+	// rate (4 rows / 5s) is far below the hot threshold, so both are full.
+	appendN(4)
+	m.Tick()
+	clock = clock.Add(5 * time.Second)
+	appendN(4)
+	m.Tick()
+	if lt := m.LifetimeNs("t.c", 42); lt != float64(5*time.Second) {
+		t.Fatalf("lifetime %g, want 5s", lt)
+	}
+
+	// A kick-mode pass takes the partial path; it must count as a partial
+	// fold and leave the full-merge interval alone.
+	clock = clock.Add(3 * time.Second)
+	appendN(8)
+	m.tickAt(4, modeKick)
+	st := m.ColumnMergeStats("t.c")
+	if st.Partial == 0 {
+		t.Fatalf("kick pass did not fold partially: %+v", st)
+	}
+	if st.Full != 2 {
+		t.Fatalf("partial fold miscounted as full: %+v", st)
+	}
+	if lt := m.LifetimeNs("t.c", 42); lt != float64(5*time.Second) {
+		t.Fatalf("partial fold skewed lifetime to %g", lt)
+	}
+
+	// A no-op pass over a drained column records nothing at all.
+	clock = clock.Add(7 * time.Second)
+	m.mergeColumns([]*StringColumn{c}, modeTimer)
+	if got := m.ColumnMergeStats("t.c"); got.Full != st.Full || got.Partial != st.Partial {
+		t.Fatalf("no-op pass changed counters: %+v -> %+v", st, got)
+	}
+	if lt := m.LifetimeNs("t.c", 42); lt != float64(5*time.Second) {
+		t.Fatalf("no-op pass skewed lifetime to %g", lt)
+	}
+}
+
 func TestMergeSchedulerChooser(t *testing.T) {
 	s := NewStore()
 	tb := s.AddTable("t")

@@ -38,12 +38,18 @@ func DaemonReport(w io.Writer, cfg TPCHConfig, rounds int) {
 	sched.Interval = 2 * time.Millisecond
 	sched.HighWaterMark = 200_000
 	sched.Parallelism = cfg.Parallelism
+	sched.PartialMerges = cfg.PartialMerges
+	sched.AdaptiveInterval = cfg.PartialMerges
 	sched.Chooser = func(snap *colstore.Snapshot, lifetimeNs float64) dict.Format {
 		return mgr.ChooseFormat(tpch.SnapshotStatsOf(snap, lifetimeNs, cfg.SampleRatio, cfg.Seed)).Format
 	}
 	sched.Start(context.Background())
 
-	fmt.Fprintf(w, "Background merge daemon on a TPC-H refresh stream (SF %g)\n", cfg.ScaleFactor)
+	mode := "full merges only"
+	if cfg.PartialMerges {
+		mode = "partial folds on hot columns"
+	}
+	fmt.Fprintf(w, "Background merge daemon on a TPC-H refresh stream (SF %g, %s)\n", cfg.ScaleFactor, mode)
 	fmt.Fprintf(w, "%-6s %12s %14s %14s\n", "round", "rows added", "ingest", "queries")
 	for r := 0; r < rounds; r++ {
 		t0 := time.Now()
@@ -66,6 +72,17 @@ func DaemonReport(w io.Writer, cfg TPCHConfig, rounds int) {
 	}
 	fmt.Fprintf(w, "after Close: %d delta rows remain across %d string columns\n",
 		left, len(s.StringColumns()))
+	var full, partial int
+	var folded, rewritten uint64
+	for _, c := range s.StringColumns() {
+		st := sched.ColumnMergeStats(c.Name())
+		full += st.Full
+		partial += st.Partial
+		folded += st.RowsFolded
+		rewritten += st.RowsRewritten
+	}
+	fmt.Fprintf(w, "merges: %d full, %d partial; %d delta rows folded, %d main rows rewritten\n",
+		full, partial, folded, rewritten)
 	fmt.Fprintln(w, "adaptive configuration chosen at merge time:")
 	fmt.Fprint(w, SortedFormatCounts(tpch.FormatDistribution(s)))
 }

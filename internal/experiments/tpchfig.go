@@ -22,6 +22,10 @@ type TPCHConfig struct {
 	CValues     []float64 // trade-off sweep (paper: log range 1e-3..10)
 	SampleRatio float64   // sampling ratio for the size models
 	Parallelism int       // worker pool for per-column selection (<= 1 serial)
+
+	// PartialMerges lets the daemon experiments fold only the oldest sealed
+	// segments of hot columns instead of rebuilding whole main parts.
+	PartialMerges bool
 }
 
 // FillDefaults applies the documented defaults.

@@ -104,6 +104,83 @@ func PackAuto(values []uint64) Vector {
 	return best
 }
 
+// concatVector presents a sequence of part vectors as one logical vector.
+// It exists for partial merges: when a delta fold introduces no new
+// dictionary values, the main code vector is unchanged and the folded rows'
+// codes can be appended as a new part instead of re-packing every main row.
+// Get binary-searches the part offsets (O(log parts)); full merges rebuild a
+// flat vector, so chains stay short between them.
+type concatVector struct {
+	n     int
+	offs  []int // offs[i] = first logical index of parts[i]
+	parts []Vector
+}
+
+// maxConcatParts bounds chain growth between flat rebuilds: concatenating
+// onto a vector that already has this many parts flattens the result.
+const maxConcatParts = 64
+
+// Concat returns a vector presenting a followed by b. Nested concatenations
+// are flattened into one part list, and chains longer than maxConcatParts
+// are collapsed into a flat bit-packed vector, so lookup cost stays
+// O(log maxConcatParts) no matter how many partial folds ran since the last
+// full rebuild.
+func Concat(a, b Vector) Vector {
+	if a.Len() == 0 {
+		return b
+	}
+	if b.Len() == 0 {
+		return a
+	}
+	var parts []Vector
+	for _, v := range []Vector{a, b} {
+		if cv, ok := v.(*concatVector); ok {
+			parts = append(parts, cv.parts...)
+		} else {
+			parts = append(parts, v)
+		}
+	}
+	if len(parts) > maxConcatParts {
+		flat := make([]uint64, 0, a.Len()+b.Len())
+		for _, p := range parts {
+			for i := 0; i < p.Len(); i++ {
+				flat = append(flat, p.Get(i))
+			}
+		}
+		return PackAuto(flat)
+	}
+	cv := &concatVector{offs: make([]int, len(parts)), parts: parts}
+	for i, p := range parts {
+		cv.offs[i] = cv.n
+		cv.n += p.Len()
+	}
+	return cv
+}
+
+func (v *concatVector) Len() int { return v.n }
+
+func (v *concatVector) Get(i int) uint64 {
+	// Find the last part starting at or before i.
+	lo, hi := 0, len(v.offs)-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if v.offs[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return v.parts[lo].Get(i - v.offs[lo])
+}
+
+func (v *concatVector) Bytes() uint64 {
+	b := uint64(len(v.offs))*8 + 48
+	for _, p := range v.parts {
+		b += p.Bytes()
+	}
+	return b
+}
+
 // forVector is frame-of-reference delta packing for nearly-monotonic
 // sequences (key columns loaded in order): per fixed-size frame it stores a
 // base value and bit-packed offsets from that base — O(1) random access

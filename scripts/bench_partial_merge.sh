@@ -1,0 +1,63 @@
+#!/bin/sh
+# Partial-merge benchmark gate: runs BenchmarkPartialMergePolicy (hot append
+# stream against a live merge daemon, partial-fold policy vs always-full
+# baseline) and writes BENCH_partial_merge.json at the repo root. The
+# headline numbers are rewritten_rows_per_merge (write amplification per
+# merge) and stall_p99_ns (99th-percentile Append latency under
+# backpressure). The partial policy must rewrite strictly fewer main rows
+# per merge than the full baseline and keep the append-stall p99 no worse
+# (within a noise tolerance).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_partial_merge.txt
+go test -run '^$' -bench BenchmarkPartialMergePolicy \
+    -benchtime=300000x -count=1 . | tee "$out"
+
+awk '
+/^BenchmarkPartialMergePolicy\// {
+    name = $1
+    sub(/^BenchmarkPartialMergePolicy\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    nsop[name] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "rewritten-rows/merge") rew[name] = $i
+        if ($(i+1) == "stall-p99-ns") p99[name] = $i
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"partial_merge\",\n"
+    printf "  \"append_ns_per_op\": {\"full\": %s, \"partial\": %s},\n", nsop["full"], nsop["partial"]
+    printf "  \"rewritten_rows_per_merge\": {\"full\": %s, \"partial\": %s},\n", rew["full"], rew["partial"]
+    printf "  \"stall_p99_ns\": {\"full\": %s, \"partial\": %s},\n", p99["full"], p99["partial"]
+    printf "  \"rewrite_reduction\": %.3f\n", rew["full"] / rew["partial"]
+    printf "}\n"
+}' "$out" > BENCH_partial_merge.json
+rm -f "$out"
+
+cat BENCH_partial_merge.json
+
+# Gates: the partial policy must rewrite fewer main rows per merge than the
+# always-full baseline, and the append-stall p99 must be no worse than the
+# baseline within a 1.5x noise tolerance.
+awk '
+/"rewritten_rows_per_merge"/ {
+    full = $0; sub(/.*"full": /, "", full); sub(/,.*/, "", full)
+    part = $0; sub(/.*"partial": /, "", part); sub(/}.*/, "", part)
+    if (part + 0 >= full + 0) {
+        printf "FAIL: partial rewrites %s rows/merge, full %s — no reduction\n", part, full
+        exit 1
+    }
+    printf "OK: rows rewritten per merge %s (partial) < %s (full)\n", part, full
+}
+/"stall_p99_ns"/ {
+    full = $0; sub(/.*"full": /, "", full); sub(/,.*/, "", full)
+    part = $0; sub(/.*"partial": /, "", part); sub(/}.*/, "", part)
+    if (part + 0 > 1.5 * (full + 0)) {
+        printf "FAIL: partial stall p99 %sns > 1.5x full baseline %sns\n", part, full
+        exit 1
+    }
+    printf "OK: append-stall p99 %sns (partial) within 1.5x of %sns (full)\n", part, full
+}' BENCH_partial_merge.json

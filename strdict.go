@@ -295,6 +295,16 @@ type MergeScheduler = colstore.MergeScheduler
 // MergeOptions tunes a merge's dictionary reconstruction.
 type MergeOptions = colstore.MergeOptions
 
+// MergeResult reports what a merge actually did: how many delta rows it
+// folded into the main part, how many main-part rows it rewrote doing so,
+// and whether it rebuilt the dictionary.
+type MergeResult = colstore.MergeResult
+
+// MergeStats is a scheduler's per-column merge history: full and partial
+// merge counts, cumulative rows folded and rewritten, the interval between
+// the last two row-folding full merges, and the append-rate estimate.
+type MergeStats = colstore.MergeStats
+
 // NewMergeScheduler returns a scheduler that merges a column once its delta
 // holds deltaRowThreshold rows. Set its Chooser to consult a Manager at
 // merge time.
@@ -320,6 +330,20 @@ type DaemonOptions struct {
 	// merge-time format decision; ratio <= 0 defaults to 0.01.
 	SampleRatio float64
 	Seed        int64
+	// PartialMerges lets the daemon fold only the oldest sealed delta
+	// segments of a hot column instead of rebuilding its whole main part:
+	// backpressure kicks and columns appending faster than HotRowsPerSec
+	// take the partial path (format preserved), while timer merges on
+	// cooling columns and shutdown flushes stay full (manager consulted).
+	PartialMerges bool
+	// HotRowsPerSec is the append rate above which a timer merge goes
+	// partial; <= 0 derives a rate from DeltaRowThreshold. Ignored unless
+	// PartialMerges is set.
+	HotRowsPerSec float64
+	// AdaptiveInterval retunes the daemon timer from observed append rates:
+	// hot stores tick faster (down to Interval/8), idle stores back off (up
+	// to Interval*8).
+	AdaptiveInterval bool
 }
 
 // StartMergeDaemon wires a MergeScheduler to a Manager and starts it as a
@@ -338,6 +362,9 @@ func StartMergeDaemon(ctx context.Context, s *Store, mgr *Manager, opts DaemonOp
 	sched.HighWaterMark = opts.HighWaterMark
 	sched.Parallelism = opts.Parallelism
 	sched.BuildParallelism = opts.BuildParallelism
+	sched.PartialMerges = opts.PartialMerges
+	sched.HotRowsPerSec = opts.HotRowsPerSec
+	sched.AdaptiveInterval = opts.AdaptiveInterval
 	if mgr != nil {
 		ratio := opts.SampleRatio
 		if ratio <= 0 {
