@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all check
+.PHONY: all build test race vet bench bench-all bench-recovery check
 
 all: check
 
@@ -23,6 +23,12 @@ vet:
 bench:
 	sh scripts/bench_read_path.sh
 	sh scripts/bench_partial_merge.sh
+
+# Durability gate: WAL append overhead vs in-memory, plus crash-recovery
+# throughput for the replay-heavy and checkpoint-heavy extremes; writes
+# BENCH_recovery.json.
+bench-recovery:
+	sh scripts/bench_recovery.sh
 
 # Every figure and ablation benchmark, one iteration each.
 bench-all:

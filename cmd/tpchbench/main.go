@@ -36,6 +36,8 @@ func main() {
 		"worker pool for per-column format selection (1 = serial)")
 	partial := flag.Bool("partial", false,
 		"daemon figure only: fold hot columns partially instead of full merges")
+	persistDir := flag.String("persist", "",
+		"run the durability report against this directory (WAL + checkpoints + recovery) instead of a figure")
 	flag.Parse()
 
 	cfg := experiments.TPCHConfig{
@@ -46,6 +48,13 @@ func main() {
 		SampleRatio:   *sample,
 		Parallelism:   *parallel,
 		PartialMerges: *partial,
+	}
+	if *persistDir != "" {
+		if err := experiments.PersistReport(os.Stdout, cfg, *persistDir); err != nil {
+			fmt.Fprintf(os.Stderr, "persist report: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *figure == "daemon" {
 		// No offline trace: the daemon report is the online protocol.

@@ -155,6 +155,11 @@ type StringColumn struct {
 	hwm         int    // active-segment high-water mark; 0 = no backpressure
 	kick        func() // wakes the merge daemon when the mark is hit
 
+	// journal, when non-nil, receives appends (under appendMu, so WAL order
+	// equals row order) and main-part publications (under mergeMu). Set via
+	// Store.SetJournal, read only under the mutex each path already holds.
+	journal Journal
+
 	// mergeMu serializes Merge/Rebuild (and their seal step) against each
 	// other: there is exactly one version publisher at a time. Readers and
 	// writers never touch it.
@@ -229,6 +234,9 @@ func (c *StringColumn) Append(value string) {
 	}
 	c.activeRows = append(c.activeRows, code)
 	c.totalRows.Add(1)
+	if c.journal != nil {
+		c.journal.JournalAppend(c.name, value)
+	}
 	c.appendMu.Unlock()
 }
 
@@ -454,6 +462,7 @@ func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) M
 	// lock is needed; rows appended since the seal stay in the active
 	// segment.
 	c.version.Store(&columnVersion{dict: newDict, codes: newVec, nMain: n})
+	c.journalMainPart(newDict, newVec, n)
 	return MergeResult{Folded: v.sealedRows, Rewritten: n, DictBuilt: true}
 }
 
@@ -561,6 +570,7 @@ func (c *StringColumn) MergePartialWithOptions(k int, opts MergeOptions) MergeRe
 		sealed:     keep,
 		sealedRows: v.sealedRows - foldRows,
 	})
+	c.journalMainPart(newDict, newVec, nMain)
 	return MergeResult{Folded: foldRows, Rewritten: rewritten, DictBuilt: dictBuilt}
 }
 
@@ -652,6 +662,7 @@ func (c *StringColumn) RebuildWithOptions(format dict.Format, opts MergeOptions)
 		sealed:     v.sealed,
 		sealedRows: v.sealedRows,
 	})
+	c.journalMainPart(newDict, v.codes, v.nMain)
 }
 
 // DictBytes returns the main dictionary's memory footprint.

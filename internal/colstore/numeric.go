@@ -4,8 +4,9 @@ package colstore
 // dates (as day numbers) live in these; the paper's dictionary work only
 // concerns string columns, so numeric columns stay uncompressed.
 type Int64Column struct {
-	name string
-	vals []int64
+	name    string
+	vals    []int64
+	journal Journal
 }
 
 // NewInt64Column returns an empty numeric column.
@@ -19,19 +20,36 @@ func (c *Int64Column) Name() string { return c.name }
 // Len returns the number of rows.
 func (c *Int64Column) Len() int { return len(c.vals) }
 
-// Append adds a value.
-func (c *Int64Column) Append(v int64) { c.vals = append(c.vals, v) }
+// Append adds a value. Numeric appends are not goroutine-safe (unlike
+// StringColumn), so journal order trivially follows append order.
+func (c *Int64Column) Append(v int64) {
+	c.vals = append(c.vals, v)
+	if c.journal != nil {
+		c.journal.JournalAppendInt64(c.name, v)
+	}
+}
 
 // Get returns the value at a row.
 func (c *Int64Column) Get(row int) int64 { return c.vals[row] }
+
+// RestoreVals installs recovered values on an empty column; the persist
+// recovery path, which then replays journaled rows on top via Append.
+// Restoring a non-empty column is a programming error and panics.
+func (c *Int64Column) RestoreVals(vals []int64) {
+	if len(c.vals) != 0 {
+		panic("colstore: RestoreVals on a non-empty column")
+	}
+	c.vals = vals
+}
 
 // Bytes returns the memory footprint.
 func (c *Int64Column) Bytes() uint64 { return uint64(len(c.vals)) * 8 }
 
 // Float64Column is a plain floating-point column (prices, discounts, taxes).
 type Float64Column struct {
-	name string
-	vals []float64
+	name    string
+	vals    []float64
+	journal Journal
 }
 
 // NewFloat64Column returns an empty float column.
@@ -45,11 +63,25 @@ func (c *Float64Column) Name() string { return c.name }
 // Len returns the number of rows.
 func (c *Float64Column) Len() int { return len(c.vals) }
 
-// Append adds a value.
-func (c *Float64Column) Append(v float64) { c.vals = append(c.vals, v) }
+// Append adds a value (not goroutine-safe; see Int64Column.Append).
+func (c *Float64Column) Append(v float64) {
+	c.vals = append(c.vals, v)
+	if c.journal != nil {
+		c.journal.JournalAppendFloat64(c.name, v)
+	}
+}
 
 // Get returns the value at a row.
 func (c *Float64Column) Get(row int) float64 { return c.vals[row] }
+
+// RestoreVals installs recovered values on an empty column (see
+// Int64Column.RestoreVals).
+func (c *Float64Column) RestoreVals(vals []float64) {
+	if len(c.vals) != 0 {
+		panic("colstore: RestoreVals on a non-empty column")
+	}
+	c.vals = vals
+}
 
 // Bytes returns the memory footprint.
 func (c *Float64Column) Bytes() uint64 { return uint64(len(c.vals)) * 8 }

@@ -14,6 +14,10 @@ type Table struct {
 	intCols   map[string]*Int64Column
 	floatCols map[string]*Float64Column
 	order     []string // column names in definition order
+
+	// journal, when non-nil, is inherited by columns defined on this table
+	// and receives their DDL events. Set by Store.AddTable / SetJournal.
+	journal Journal
 }
 
 // NewTable returns an empty table.
@@ -29,24 +33,36 @@ func NewTable(name string) *Table {
 // AddString defines a string column with an initial dictionary format.
 func (t *Table) AddString(name string, format dict.Format) *StringColumn {
 	c := NewStringColumn(t.Name+"."+name, format)
+	c.journal = t.journal
 	t.strCols[name] = c
 	t.order = append(t.order, name)
+	if t.journal != nil {
+		t.journal.JournalAddString(t.Name, name, format)
+	}
 	return c
 }
 
 // AddInt64 defines a numeric column.
 func (t *Table) AddInt64(name string) *Int64Column {
 	c := NewInt64Column(t.Name + "." + name)
+	c.journal = t.journal
 	t.intCols[name] = c
 	t.order = append(t.order, name)
+	if t.journal != nil {
+		t.journal.JournalAddInt64(t.Name, name)
+	}
 	return c
 }
 
 // AddFloat64 defines a float column.
 func (t *Table) AddFloat64(name string) *Float64Column {
 	c := NewFloat64Column(t.Name + "." + name)
+	c.journal = t.journal
 	t.floatCols[name] = c
 	t.order = append(t.order, name)
+	if t.journal != nil {
+		t.journal.JournalAddFloat64(t.Name, name)
+	}
 	return c
 }
 
@@ -83,6 +99,28 @@ func (t *Table) StringColumns() []*StringColumn {
 	var out []*StringColumn
 	for _, name := range t.order {
 		if c, ok := t.strCols[name]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Int64Columns returns the table's numeric columns in definition order.
+func (t *Table) Int64Columns() []*Int64Column {
+	var out []*Int64Column
+	for _, name := range t.order {
+		if c, ok := t.intCols[name]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Float64Columns returns the table's float columns in definition order.
+func (t *Table) Float64Columns() []*Float64Column {
+	var out []*Float64Column
+	for _, name := range t.order {
+		if c, ok := t.floatCols[name]; ok {
 			out = append(out, c)
 		}
 	}
@@ -132,6 +170,10 @@ func (t *Table) Bytes() uint64 {
 type Store struct {
 	Tables map[string]*Table
 	names  []string
+
+	// journal, when non-nil, is inherited by tables created on this store.
+	// Set via SetJournal (see journal.go).
+	journal Journal
 }
 
 // NewStore returns an empty store.
@@ -142,8 +184,12 @@ func NewStore() *Store {
 // AddTable creates and registers a table.
 func (s *Store) AddTable(name string) *Table {
 	t := NewTable(name)
+	t.journal = s.journal
 	s.Tables[name] = t
 	s.names = append(s.names, name)
+	if s.journal != nil {
+		s.journal.JournalAddTable(name)
+	}
 	return t
 }
 

@@ -9,14 +9,20 @@ package dict
 // Layout (little-endian):
 //
 //	magic   [4]byte "SDIC"
-//	version u8 (currently 1)
+//	version u8 (currently 2)
 //	format  u8
 //	payload format-specific sections (see marshal* below)
+//	crc     u32 CRC32C over everything before it (version >= 2)
+//
+// Version 2 added the footer checksum so corrupt dictionary bytes fail fast
+// with ErrCorrupt instead of relying on structural validation alone;
+// Unmarshal still accepts version-1 blobs (no footer).
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"strdict/internal/bitcomp"
 	"strdict/internal/bits"
@@ -28,7 +34,12 @@ import (
 
 var magic = [4]byte{'S', 'D', 'I', 'C'}
 
-const serialVersion = 1
+const serialVersion = 2
+
+// crcTable is the Castagnoli polynomial (CRC32C) — hardware-accelerated on
+// amd64/arm64, and the same polynomial the persist subsystem uses for WAL
+// records and checkpoint footers.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt is returned when serialized bytes fail validation.
 var ErrCorrupt = errors.New("dict: corrupt serialized dictionary")
@@ -148,6 +159,7 @@ func Marshal(dict Dictionary) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("dict: cannot marshal %T", dict)
 	}
+	e.u32(crc32.Checksum(e.buf, crcTable))
 	return e.buf, nil
 }
 
@@ -262,17 +274,31 @@ func unmarshalCodec(d *dec, s Scheme, orderPreserving bool) (codec, error) {
 // structural invariants (monotonic offsets, block geometry) so that reads
 // on the result cannot index out of bounds.
 func Unmarshal(data []byte) (Dictionary, error) {
-	d := &dec{buf: data}
 	var m [4]byte
 	copy(m[:], data)
-	d.off = 4
 	if len(data) < 6 || m != magic {
 		return nil, ErrCorrupt
 	}
-	if v := d.u8(); v != serialVersion {
+	switch v := data[4]; v {
+	case 1:
+		// Legacy blobs carry no footer; structural validation only.
+	case 2:
+		// Verify the CRC32C footer before touching the payload, so corrupt
+		// bytes fail fast instead of decoding garbage.
+		if len(data) < 10 {
+			return nil, ErrCorrupt
+		}
+		body := data[:len(data)-4]
+		want := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if crc32.Checksum(body, crcTable) != want {
+			return nil, ErrCorrupt
+		}
+		data = body
+	default:
 		return nil, fmt.Errorf("dict: unsupported serialization version %d", v)
 	}
-	f := Format(d.u8())
+	d := &dec{buf: data, off: 6}
+	f := Format(data[5])
 	if int(f) >= NumFormats {
 		return nil, ErrCorrupt
 	}

@@ -113,6 +113,53 @@ func TestUnmarshalRejectsBitFlips(t *testing.T) {
 	}
 }
 
+func TestUnmarshalAcceptsVersion1(t *testing.T) {
+	// Version-1 blobs are version-2 blobs without the CRC footer and with a
+	// different version byte; derive one and check it still loads.
+	strs := []string{"alpha", "beta", "delta", "epsilon", "gamma"}
+	for _, f := range AllFormats() {
+		d, _ := Build(f, strs)
+		blob, err := Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 := append([]byte(nil), blob[:len(blob)-4]...)
+		v1[4] = 1
+		restored, err := Unmarshal(v1)
+		if err != nil {
+			t.Fatalf("%s: version-1 blob rejected: %v", f, err)
+		}
+		for i, want := range strs {
+			if got := restored.Extract(uint32(i)); got != want {
+				t.Fatalf("%s: Extract(%d) = %q, want %q", f, i, got, want)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadFooter(t *testing.T) {
+	strs := []string{"five", "four", "one", "six", "three", "two"}
+	for _, f := range AllFormats() {
+		d, _ := Build(f, strs)
+		blob, _ := Marshal(d)
+		if blob[4] != serialVersion {
+			t.Fatalf("%s: marshal wrote version %d, want %d", f, blob[4], serialVersion)
+		}
+		// Any payload or footer corruption must fail the checksum.
+		for _, pos := range []int{6, len(blob) / 2, len(blob) - 1} {
+			corrupted := append([]byte(nil), blob...)
+			corrupted[pos] ^= 0xff
+			if _, err := Unmarshal(corrupted); err == nil {
+				t.Errorf("%s: corruption at byte %d accepted", f, pos)
+			}
+		}
+		// Footer stripped entirely.
+		if _, err := Unmarshal(blob[:len(blob)-4]); err == nil {
+			t.Errorf("%s: missing footer accepted", f)
+		}
+	}
+}
+
 func TestMarshalSizeReasonable(t *testing.T) {
 	// The serialized form should be close to the in-memory footprint (it is
 	// the same data plus small headers).

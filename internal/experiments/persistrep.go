@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"strdict/internal/colstore"
+	"strdict/internal/dict"
+	"strdict/internal/persist"
+	"strdict/internal/tpch"
+)
+
+// PersistReport measures the durability subsystem end to end on the TPC-H
+// load: WAL-journaled ingest vs the pure in-memory load, checkpoint cost
+// and size, and crash recovery back to a bit-identical store.
+func PersistReport(w io.Writer, cfg TPCHConfig, dir string) error {
+	cfg.FillDefaults()
+	tcfg := tpch.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed, InitialFormat: dict.FCBlock}
+
+	// Baseline: the in-memory load, nothing journaled.
+	t0 := time.Now()
+	mem := tpch.Load(tcfg)
+	memLoad := time.Since(t0)
+	rows := storeRows(mem)
+
+	// Journaled load into a fresh persistent store. Merges checkpoint as
+	// they go; Checkpoint() at the end covers the numeric columns.
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	t0 = time.Now()
+	ps, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		return err
+	}
+	tpch.LoadInto(ps.Store, tcfg)
+	if err := ps.Sync(); err != nil {
+		return err
+	}
+	walLoad := time.Since(t0)
+
+	t0 = time.Now()
+	if err := ps.Checkpoint(); err != nil {
+		return err
+	}
+	ckpt := time.Since(t0)
+	if err := ps.Err(); err != nil {
+		return err
+	}
+	walBytes, ckptBytes := dirSizes(dir)
+	if err := ps.Close(); err != nil {
+		return err
+	}
+
+	// Recovery: reopen and verify.
+	t0 = time.Now()
+	rs, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		return err
+	}
+	recovery := time.Since(t0)
+	defer rs.Close()
+	info := rs.Recovery()
+	recRows := storeRows(rs.Store)
+	if recRows != rows {
+		return fmt.Errorf("recovery lost rows: %d != %d", recRows, rows)
+	}
+	for _, name := range mem.TableNames() {
+		for _, c := range mem.Table(name).StringColumns() {
+			rc := findStringColumn(rs.Store.Table(name).StringColumns(), c.Name())
+			if rc == nil || rc.Len() != c.Len() {
+				return fmt.Errorf("column %s not recovered", c.Name())
+			}
+			step := c.Len()/97 + 1
+			for i := 0; i < c.Len(); i += step {
+				if rc.Get(i) != c.Get(i) {
+					return fmt.Errorf("column %s row %d differs after recovery", c.Name(), i)
+				}
+			}
+		}
+	}
+	t0 = time.Now()
+	tpch.RunAll(rs.Store)
+	queries := time.Since(t0)
+
+	fmt.Fprintf(w, "Durability on the TPC-H load (SF %g, %d rows)\n", cfg.ScaleFactor, rows)
+	fmt.Fprintf(w, "%-28s %12v\n", "in-memory load", memLoad.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-28s %12v  (%.2fx)\n", "journaled load + sync", walLoad.Round(time.Millisecond),
+		float64(walLoad)/float64(memLoad))
+	fmt.Fprintf(w, "%-28s %12v\n", "checkpoint", ckpt.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-28s %12.1f KiB wal, %.1f KiB checkpoint\n", "on disk",
+		float64(walBytes)/1024, float64(ckptBytes)/1024)
+	fmt.Fprintf(w, "%-28s %12v  (%.0f rows/ms)\n", "recovery", recovery.Round(time.Millisecond),
+		float64(rows)/float64(recovery.Milliseconds()+1))
+	fmt.Fprintf(w, "%-28s manifest=%v replayed=%d skipped=%d lost=%d torn=%dB\n", "recovery detail",
+		info.ManifestLoaded, info.ReplayedRows, info.SkippedRows, info.LostRows, info.TornBytes)
+	fmt.Fprintf(w, "%-28s %12v  (all queries on the recovered store)\n", "queries", queries.Round(time.Millisecond))
+	return nil
+}
+
+func storeRows(s *colstore.Store) (total int) {
+	for _, name := range s.TableNames() {
+		total += s.Table(name).Rows()
+	}
+	return total
+}
+
+func findStringColumn(cols []*colstore.StringColumn, name string) *colstore.StringColumn {
+	for _, c := range cols {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func dirSizes(dir string) (wal, ckpt int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if filepath.Ext(e.Name()) == ".log" {
+			wal += fi.Size()
+		} else {
+			ckpt += fi.Size()
+		}
+	}
+	return wal, ckpt
+}

@@ -1,0 +1,129 @@
+package persist
+
+// Durability benchmarks, consumed by scripts/bench_recovery.sh:
+//
+//   - BenchmarkAppendDurability compares a plain in-memory column append
+//     with the same append journaled to the WAL (group commit, and the
+//     worst-case fsync-every-append mode).
+//   - BenchmarkRecovery measures Open on a prepared directory, both
+//     replay-heavy (all rows in the WAL) and checkpoint-heavy (all rows in
+//     part files) — the two recovery extremes.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"strdict/internal/colstore"
+	"strdict/internal/dict"
+)
+
+func benchValues(n int) []string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("value-%07d", i%977)
+	}
+	return vals
+}
+
+func BenchmarkAppendDurability(b *testing.B) {
+	vals := benchValues(1 << 12)
+
+	b.Run("inmemory", func(b *testing.B) {
+		s := colstore.NewStore()
+		c := s.AddTable("t").AddString("s", dict.Array)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Append(vals[i&(len(vals)-1)])
+		}
+	})
+
+	b.Run("wal", func(b *testing.B) {
+		s, err := Open(b.TempDir(), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		c := s.AddTable("t").AddString("s", dict.Array)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Append(vals[i&(len(vals)-1)])
+		}
+		b.StopTimer()
+		if err := s.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.Run("walsync", func(b *testing.B) {
+		s, err := Open(b.TempDir(), Options{FsyncInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		c := s.AddTable("t").AddString("s", dict.Array)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Append(vals[i&(len(vals)-1)])
+		}
+	})
+}
+
+// benchDir prepares a directory holding rows string rows; checkpointed
+// selects whether they sit in part files (merged + checkpointed) or purely
+// in the WAL.
+func benchDir(b *testing.B, rows int, checkpointed bool) string {
+	b.Helper()
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := s.AddTable("t").AddString("s", dict.Array)
+	vals := benchValues(1 << 12)
+	for i := 0; i < rows; i++ {
+		c.Append(vals[i&(len(vals)-1)])
+	}
+	if checkpointed {
+		c.Merge(dict.FCBlock)
+		if err := s.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	const rows = 200_000
+	for _, mode := range []string{"replay", "checkpoint"} {
+		b.Run(mode, func(b *testing.B) {
+			dir := benchDir(b, rows, mode == "checkpoint")
+			var bytes int64
+			if entries, err := os.ReadDir(dir); err == nil {
+				for _, e := range entries {
+					if fi, err := e.Info(); err == nil {
+						bytes += fi.Size()
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := Open(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := s.Table("t").Str("s").Len(); got != rows {
+					b.Fatalf("recovered %d rows, want %d", got, rows)
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			b.ReportMetric(float64(bytes)*float64(b.N)/b.Elapsed().Seconds()/(1<<20), "MB/s")
+		})
+	}
+}

@@ -1,0 +1,303 @@
+package persist
+
+// Checkpoint files. A checkpoint is a set of immutable part files — one per
+// column — plus a manifest naming them. Part files hold a column's durable
+// prefix (a string column's merged main part, or a numeric column's full
+// value slice at checkpoint time) and are written once, never modified:
+//
+//	part     "SCKP" | version u8 | kind u8 | rows u64 | body | crc u32
+//	  str    body = dictLen u32 | dict.Marshal bytes | intcomp.Marshal bytes
+//	  int64  body = rows × u64 (two's complement, little endian)
+//	  float  body = rows × u64 (IEEE 754 bits, little endian)
+//
+//	manifest "SMAN" | version u8 | seq u64 | ncols u32 | entries | crc u32
+//	  entry  id u32 | kind u8 | format u8 | rows u64 |
+//	         table str16 | column str16 | file str16
+//
+// Both checksums are CRC32C over every preceding byte. Files are written to
+// a .tmp name, fsynced, renamed into place and the directory fsynced, so a
+// file that exists under its final name is complete. A new manifest reuses
+// the part files of unchanged columns; the two newest manifests and the
+// union of their parts are retained, older ones garbage collected, which is
+// why a torn or corrupt newest manifest never strands the store — recovery
+// falls back to its predecessor, whose parts are still on disk.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"strdict/internal/dict"
+	"strdict/internal/intcomp"
+)
+
+const (
+	partMagic   = "SCKP"
+	partVersion = 1
+
+	manifestMagic   = "SMAN"
+	manifestVersion = 1
+
+	// Part kinds (column types).
+	partStr   = 0
+	partInt   = 1
+	partFloat = 2
+)
+
+func partPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("p%08d.part", seq))
+}
+
+func manifestPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("manifest-%08d", seq))
+}
+
+func parseManifestSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "manifest-%08d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, name == fmt.Sprintf("manifest-%08d", seq)
+}
+
+func parsePartSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "p%08d.part", &seq); err != nil {
+		return 0, false
+	}
+	return seq, name == fmt.Sprintf("p%08d.part", seq)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's name is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// writeAtomic makes data appear at path all-or-nothing: tmp file, fsync,
+// rename, directory fsync.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// Part encoding.
+
+func appendPartHeader(dst []byte, kind uint8, rows uint64) []byte {
+	dst = append(dst, partMagic...)
+	dst = append(dst, partVersion, kind)
+	return binary.LittleEndian.AppendUint64(dst, rows)
+}
+
+func appendPartFooter(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst, crcTable))
+}
+
+func encStringPart(d dict.Dictionary, codes intcomp.Vector) ([]byte, error) {
+	db, err := dict.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	buf := appendPartHeader(make([]byte, 0, 22+len(db)), partStr, uint64(codes.Len()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(db)))
+	buf = append(buf, db...)
+	buf, err = intcomp.AppendMarshal(buf, codes)
+	if err != nil {
+		return nil, err
+	}
+	return appendPartFooter(buf), nil
+}
+
+func encInt64Part(vals []int64) []byte {
+	buf := appendPartHeader(make([]byte, 0, 18+8*len(vals)), partInt, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return appendPartFooter(buf)
+}
+
+func encFloat64Part(vals []float64) []byte {
+	buf := appendPartHeader(make([]byte, 0, 18+8*len(vals)), partFloat, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return appendPartFooter(buf)
+}
+
+// decPart verifies a part file's envelope and returns its kind, row count
+// and body.
+func decPart(b []byte) (kind uint8, rows uint64, body []byte, err error) {
+	if len(b) < 18 || string(b[:4]) != partMagic {
+		return 0, 0, nil, ErrCorrupt
+	}
+	sum := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(b[:len(b)-4], crcTable) != sum {
+		return 0, 0, nil, ErrCorrupt
+	}
+	if b[4] != partVersion {
+		return 0, 0, nil, fmt.Errorf("persist: unsupported part version %d", b[4])
+	}
+	kind = b[5]
+	rows = binary.LittleEndian.Uint64(b[6:])
+	return kind, rows, b[14 : len(b)-4], nil
+}
+
+// decStringPart reconstructs a string column's main part, validating that
+// the code vector matches the stated row count and stays within the
+// dictionary's domain.
+func decStringPart(body []byte, rows uint64) (dict.Dictionary, intcomp.Vector, error) {
+	if len(body) < 4 {
+		return nil, nil, ErrCorrupt
+	}
+	dl := int(binary.LittleEndian.Uint32(body))
+	if dl < 0 || 4+dl > len(body) {
+		return nil, nil, ErrCorrupt
+	}
+	d, err := dict.Unmarshal(body[4 : 4+dl])
+	if err != nil {
+		return nil, nil, err
+	}
+	codes, err := intcomp.Unmarshal(body[4+dl:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(codes.Len()) != rows {
+		return nil, nil, ErrCorrupt
+	}
+	domain := uint64(d.Len())
+	for i := 0; i < codes.Len(); i++ {
+		if codes.Get(i) >= domain {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	return d, codes, nil
+}
+
+func decInt64Part(body []byte, rows uint64) ([]int64, error) {
+	if rows > uint64(len(body))/8 || uint64(len(body)) != rows*8 {
+		return nil, ErrCorrupt
+	}
+	vals := make([]int64, rows)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return vals, nil
+}
+
+func decFloat64Part(body []byte, rows uint64) ([]float64, error) {
+	if rows > uint64(len(body))/8 || uint64(len(body)) != rows*8 {
+		return nil, ErrCorrupt
+	}
+	vals := make([]float64, rows)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return vals, nil
+}
+
+// Manifest encoding.
+
+// manifestCol is one column's entry in a manifest: which part file holds its
+// durable prefix and how many rows that prefix covers.
+type manifestCol struct {
+	id     uint32
+	kind   uint8
+	format dict.Format // string columns only
+	rows   uint64
+	table  string
+	column string
+	file   string // part file base name, "" when rows == 0
+}
+
+func encManifest(seq uint64, cols []manifestCol) []byte {
+	buf := make([]byte, 0, 17+48*len(cols))
+	buf = append(buf, manifestMagic...)
+	buf = append(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cols)))
+	for _, c := range cols {
+		buf = binary.LittleEndian.AppendUint32(buf, c.id)
+		buf = append(buf, c.kind, uint8(c.format))
+		buf = binary.LittleEndian.AppendUint64(buf, c.rows)
+		buf = appendStr16(buf, c.table)
+		buf = appendStr16(buf, c.column)
+		buf = appendStr16(buf, c.file)
+	}
+	return appendPartFooter(buf)
+}
+
+func decManifest(b []byte) (seq uint64, cols []manifestCol, err error) {
+	if len(b) < 21 || string(b[:4]) != manifestMagic {
+		return 0, nil, ErrCorrupt
+	}
+	sum := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(b[:len(b)-4], crcTable) != sum {
+		return 0, nil, ErrCorrupt
+	}
+	if b[4] != manifestVersion {
+		return 0, nil, fmt.Errorf("persist: unsupported manifest version %d", b[4])
+	}
+	seq = binary.LittleEndian.Uint64(b[5:])
+	n := int(binary.LittleEndian.Uint32(b[13:]))
+	if n < 0 || n > 1<<20 {
+		return 0, nil, ErrCorrupt
+	}
+	body := b[:len(b)-4]
+	off := 17
+	cols = make([]manifestCol, 0, n)
+	for i := 0; i < n; i++ {
+		if off+14 > len(body) {
+			return 0, nil, ErrCorrupt
+		}
+		c := manifestCol{
+			id:     binary.LittleEndian.Uint32(body[off:]),
+			kind:   body[off+4],
+			format: dict.Format(body[off+5]),
+			rows:   binary.LittleEndian.Uint64(body[off+6:]),
+		}
+		off += 14
+		if c.table, off, err = readStr16(body, off); err != nil {
+			return 0, nil, err
+		}
+		if c.column, off, err = readStr16(body, off); err != nil {
+			return 0, nil, err
+		}
+		if c.file, off, err = readStr16(body, off); err != nil {
+			return 0, nil, err
+		}
+		cols = append(cols, c)
+	}
+	if off != len(body) {
+		return 0, nil, ErrCorrupt
+	}
+	return seq, cols, nil
+}

@@ -1,0 +1,406 @@
+package persist
+
+// The journal: the persist side of the colstore.Journal interface. It owns
+// the WAL and the checkpoint files for one store directory. Appends become
+// WAL records; main-part publications (merges) become a part file plus a
+// fresh manifest, after which WAL segments fully covered by the two newest
+// manifests are deleted.
+//
+// Lock order: mu → regMu → wal.mu. The hot append path takes only
+// regMu.RLock (name→id) and wal.mu (framing); checkpoints serialize on mu.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"strdict/internal/colstore"
+	"strdict/internal/dict"
+	"strdict/internal/intcomp"
+)
+
+// colState is the journal's record of one column.
+type colState struct {
+	id     uint32
+	kind   uint8 // partStr / partInt / partFloat
+	table  string
+	column string
+
+	// format is the column's current dictionary format (string columns
+	// only); updated by checkpoints after a rebuild changes it. Guarded by
+	// regMu.
+	format dict.Format
+
+	// Checkpoint state: how many leading rows the current part file covers.
+	// Guarded by journal.mu.
+	persisted uint64
+	file      string // part file base name, "" before the first checkpoint
+}
+
+type journal struct {
+	dir         string
+	w           *wal
+	store       *colstore.Store
+	disableCkpt bool
+
+	regMu  sync.RWMutex
+	byName map[string]*colState // "table.column"
+	byID   map[uint32]*colState
+	tables map[string]bool
+	nextID uint32
+
+	mu                 sync.Mutex // serializes checkpoint + manifest writes
+	manifestSeq        uint64     // next manifest sequence number
+	fileSeq            uint64     // next part file sequence number
+	prevPersisted      map[uint32]uint64
+	prevManifestWalSeq uint64 // active WAL segment when prev manifest was written
+	ckptErr            error  // sticky checkpoint failure
+}
+
+// DDL events. Dedupe by name: SetJournal re-announces schema that recovery
+// already registered, and the WAL record was either already written or is
+// implied by the loaded manifest.
+
+func (j *journal) JournalAddTable(table string) {
+	j.regMu.Lock()
+	defer j.regMu.Unlock()
+	if j.tables[table] {
+		return
+	}
+	j.tables[table] = true
+	j.w.append(encDDLTable(table), false, 0)
+}
+
+func (j *journal) addColumnLocked(kind uint8, format dict.Format, table, column string) {
+	name := table + "." + column
+	if _, ok := j.byName[name]; ok {
+		return
+	}
+	st := &colState{id: j.nextID, kind: kind, format: format, table: table, column: column}
+	j.nextID++
+	j.byName[name] = st
+	j.byID[st.id] = st
+	var rec byte
+	switch kind {
+	case partStr:
+		rec = recDDLString
+	case partInt:
+		rec = recDDLInt
+	default:
+		rec = recDDLFloat
+	}
+	j.w.append(encDDLColumn(rec, st.id, uint8(format), table, column), false, 0)
+}
+
+func (j *journal) JournalAddString(table, column string, format dict.Format) {
+	j.regMu.Lock()
+	defer j.regMu.Unlock()
+	j.addColumnLocked(partStr, format, table, column)
+}
+
+func (j *journal) JournalAddInt64(table, column string) {
+	j.regMu.Lock()
+	defer j.regMu.Unlock()
+	j.addColumnLocked(partInt, 0, table, column)
+}
+
+func (j *journal) JournalAddFloat64(table, column string) {
+	j.regMu.Lock()
+	defer j.regMu.Unlock()
+	j.addColumnLocked(partFloat, 0, table, column)
+}
+
+func (j *journal) lookup(name string) *colState {
+	j.regMu.RLock()
+	st := j.byName[name]
+	j.regMu.RUnlock()
+	return st
+}
+
+// Append events: one WAL record per row. WAL failures are sticky inside the
+// WAL and surface through Sync/Close — the interface has no error return,
+// by design: the column has already accepted the row.
+
+func (j *journal) JournalAppend(column string, value string) {
+	if st := j.lookup(column); st != nil {
+		j.w.append(encAppend(st.id, value), true, st.id)
+	}
+}
+
+func (j *journal) JournalAppendInt64(column string, value int64) {
+	if st := j.lookup(column); st != nil {
+		j.w.append(encAppendU64(recAppendInt, st.id, uint64(value)), true, st.id)
+	}
+}
+
+func (j *journal) JournalAppendFloat64(column string, value float64) {
+	if st := j.lookup(column); st != nil {
+		j.w.append(encAppendU64(recAppendFloat, st.id, math.Float64bits(value)), true, st.id)
+	}
+}
+
+// JournalMainPart: a merge published a new main part. Log a marker, then —
+// unless per-merge checkpoints are disabled — persist the part and write a
+// new manifest, which in turn lets covered WAL segments go.
+func (j *journal) JournalMainPart(column string, d dict.Dictionary, codes intcomp.Vector, nMain int) {
+	st := j.lookup(column)
+	if st == nil {
+		return
+	}
+	j.w.append(encMerge(st.id, uint64(nMain)), false, 0)
+	if j.disableCkpt {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.checkpointStringLocked(st, d, codes, uint64(nMain)); err != nil {
+		j.setCkptErrLocked(err)
+		return
+	}
+	if err := j.writeManifestLocked(); err != nil {
+		j.setCkptErrLocked(err)
+	}
+}
+
+func (j *journal) setCkptErrLocked(err error) {
+	if j.ckptErr == nil {
+		j.ckptErr = err
+	}
+}
+
+// checkpointStringLocked writes a string column's main part to a fresh part
+// file and points the column's state at it. Caller holds mu.
+func (j *journal) checkpointStringLocked(st *colState, d dict.Dictionary, codes intcomp.Vector, rows uint64) error {
+	data, err := encStringPart(d, codes)
+	if err != nil {
+		return err
+	}
+	file, err := j.writePartLocked(data)
+	if err != nil {
+		return err
+	}
+	st.persisted = rows
+	st.file = file
+	j.regMu.Lock()
+	st.format = d.Format()
+	j.regMu.Unlock()
+	return nil
+}
+
+// writePartLocked writes one part file atomically and returns its base
+// name. Caller holds mu.
+func (j *journal) writePartLocked(data []byte) (string, error) {
+	seq := j.fileSeq
+	path := partPath(j.dir, seq)
+	if err := writeAtomic(path, data); err != nil {
+		return "", err
+	}
+	j.fileSeq++
+	return filepath.Base(path), nil
+}
+
+// checkpointAll persists every column — string main parts plus full numeric
+// slices — then writes a manifest. String delta rows stay in the WAL. It is
+// safe against concurrent string appends and merges; concurrent numeric
+// appends must be quiesced (numeric Append is not goroutine-safe anyway).
+func (j *journal) checkpointAll() error {
+	if err := j.w.sync(); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, name := range j.store.TableNames() {
+		t := j.store.Table(name)
+		for _, c := range t.StringColumns() {
+			st := j.lookup(c.Name())
+			if st == nil {
+				continue
+			}
+			d, codes, n := c.MainParts()
+			if uint64(n) == st.persisted && (st.file != "" || n == 0) {
+				continue
+			}
+			if err := j.checkpointStringLocked(st, d, codes, uint64(n)); err != nil {
+				j.setCkptErrLocked(err)
+				return err
+			}
+		}
+		for _, ic := range t.Int64Columns() {
+			if err := j.checkpointInt64Locked(ic); err != nil {
+				j.setCkptErrLocked(err)
+				return err
+			}
+		}
+		for _, fc := range t.Float64Columns() {
+			if err := j.checkpointFloat64Locked(fc); err != nil {
+				j.setCkptErrLocked(err)
+				return err
+			}
+		}
+	}
+	if err := j.writeManifestLocked(); err != nil {
+		j.setCkptErrLocked(err)
+		return err
+	}
+	return nil
+}
+
+func (j *journal) checkpointInt64Locked(c *colstore.Int64Column) error {
+	st := j.lookup(c.Name())
+	if st == nil {
+		return nil
+	}
+	n := c.Len()
+	if uint64(n) == st.persisted && (st.file != "" || n == 0) {
+		return nil
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = c.Get(i)
+	}
+	file, err := j.writePartLocked(encInt64Part(vals))
+	if err != nil {
+		return err
+	}
+	st.persisted = uint64(n)
+	st.file = file
+	return nil
+}
+
+func (j *journal) checkpointFloat64Locked(c *colstore.Float64Column) error {
+	st := j.lookup(c.Name())
+	if st == nil {
+		return nil
+	}
+	n := c.Len()
+	if uint64(n) == st.persisted && (st.file != "" || n == 0) {
+		return nil
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = c.Get(i)
+	}
+	file, err := j.writePartLocked(encFloat64Part(vals))
+	if err != nil {
+		return err
+	}
+	st.persisted = uint64(n)
+	st.file = file
+	return nil
+}
+
+// writeManifestLocked publishes the current checkpoint state as a new
+// manifest, then truncates the WAL and garbage-collects superseded files.
+// Caller holds mu.
+func (j *journal) writeManifestLocked() error {
+	j.regMu.RLock()
+	cols := make([]manifestCol, 0, len(j.byID))
+	for _, st := range j.byID {
+		cols = append(cols, manifestCol{
+			id:     st.id,
+			kind:   st.kind,
+			format: st.format,
+			rows:   st.persisted,
+			table:  st.table,
+			column: st.column,
+			file:   st.file,
+		})
+	}
+	j.regMu.RUnlock()
+	sort.Slice(cols, func(a, b int) bool { return cols[a].id < cols[b].id })
+
+	seq := j.manifestSeq
+	if err := writeAtomic(manifestPath(j.dir, seq), encManifest(seq, cols)); err != nil {
+		return err
+	}
+	j.manifestSeq++
+
+	// Truncate: a row is durably checkpointed only if both retained
+	// manifests cover it, so the cover is the elementwise minimum — a
+	// corrupt newest manifest must still leave the fallback replayable.
+	cur := make(map[uint32]uint64, len(cols))
+	cover := make(map[uint32]uint64, len(cols))
+	for _, c := range cols {
+		cur[c.id] = c.rows
+		if p := j.prevPersisted[c.id]; p < c.rows {
+			cover[c.id] = p
+		} else {
+			cover[c.id] = c.rows
+		}
+	}
+	activeSeq := j.w.activeSeq()
+	j.w.deleteCovered(cover, j.prevManifestWalSeq)
+	j.gcLocked()
+	j.prevPersisted = cur
+	j.prevManifestWalSeq = activeSeq
+	return nil
+}
+
+// gcLocked removes manifests older than the two newest and part files
+// neither of those references, plus stray .tmp files. Caller holds mu.
+// Errors are ignored: GC retries at every checkpoint.
+func (j *journal) gcLocked() {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	var manifests []uint64
+	for _, e := range entries {
+		if seq, ok := parseManifestSeq(e.Name()); ok {
+			manifests = append(manifests, seq)
+		}
+	}
+	sort.Slice(manifests, func(a, b int) bool { return manifests[a] > manifests[b] })
+	if len(manifests) < 2 {
+		return
+	}
+	keep := manifests[:2]
+	referenced := make(map[string]bool)
+	for _, seq := range keep {
+		b, err := os.ReadFile(manifestPath(j.dir, seq))
+		if err != nil {
+			return // conservative: unknown references, skip this round
+		}
+		_, cols, err := decManifest(b)
+		if err != nil {
+			return
+		}
+		for _, c := range cols {
+			if c.file != "" {
+				referenced[c.file] = true
+			}
+		}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if seq, ok := parseManifestSeq(name); ok && seq < keep[1] {
+			os.Remove(filepath.Join(j.dir, name))
+		}
+		if _, ok := parsePartSeq(name); ok && !referenced[name] {
+			os.Remove(filepath.Join(j.dir, name))
+		}
+		if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(j.dir, name))
+		}
+	}
+}
+
+// err returns the sticky WAL or checkpoint failure, if any.
+func (j *journal) err() error {
+	j.mu.Lock()
+	ckpt := j.ckptErr
+	j.mu.Unlock()
+	if ckpt != nil {
+		return ckpt
+	}
+	j.w.mu.Lock()
+	werr := j.w.err
+	j.w.mu.Unlock()
+	if werr != nil && werr != os.ErrClosed {
+		return fmt.Errorf("persist: wal: %w", werr)
+	}
+	return nil
+}

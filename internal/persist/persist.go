@@ -1,0 +1,102 @@
+// Package persist adds durability to a colstore: a delta write-ahead log
+// for appends, checkpoint files for merged main parts, and crash recovery
+// that reconstructs the store bit-identically to its last durable snapshot.
+//
+// The design follows the paper's delta/main split. Delta rows — the
+// write-optimized tail — are cheap to log as they arrive, so they go to a
+// group-committed WAL. Main parts — the read-optimized, dictionary-
+// compressed prefix — are rewritten wholesale by merges, so each merge
+// checkpoints the freshly built dictionary and code vector in their
+// compressed form (the checkpoint is roughly as small as the in-memory
+// footprint, one of the paper's arguments for compressed dictionaries) and
+// the WAL records it covered are discarded. Recovery loads the newest
+// intact checkpoint and replays the WAL suffix on top.
+package persist
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"strdict/internal/colstore"
+)
+
+// Options tunes a persistent store.
+type Options struct {
+	// FsyncInterval is the group-commit window: appends are acknowledged
+	// immediately and fsynced together at this cadence. Zero selects
+	// DefaultFsyncInterval; a negative value fsyncs every append (slowest,
+	// zero-loss).
+	FsyncInterval time.Duration
+
+	// SegmentBytes rotates the WAL once a segment's durable size passes
+	// this threshold. Zero selects DefaultSegmentBytes.
+	SegmentBytes int64
+
+	// DisableCheckpointOnMerge stops merges from writing checkpoints;
+	// only explicit Checkpoint calls persist main parts then. Useful for
+	// benchmarks isolating WAL cost.
+	DisableCheckpointOnMerge bool
+}
+
+// Store is a colstore.Store whose contents survive process crashes. All
+// colstore functionality is embedded; appends and merges are journaled
+// transparently once the store is open.
+type Store struct {
+	*colstore.Store
+	j    *journal
+	info RecoveryInfo
+}
+
+// Open recovers (or creates) the persistent store in dir. The returned
+// store reflects every row that was durable — fsynced — before the previous
+// process stopped; see Recovery for what was found.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r, err := recoverDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: recover %s: %w", dir, err)
+	}
+	w, err := newWAL(dir, opts.SegmentBytes, opts.FsyncInterval, r.nextSegSeq, r.counts, r.sealed)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	j := &journal{
+		dir:         dir,
+		w:           w,
+		store:       r.store,
+		disableCkpt: opts.DisableCheckpointOnMerge,
+		byName:      r.byName,
+		byID:        r.byID,
+		tables:      r.tables,
+		nextID:      r.nextID,
+		manifestSeq: r.nextManifestSeq,
+		fileSeq:     r.nextFileSeq,
+	}
+	r.store.SetJournal(j)
+	return &Store{Store: r.store, j: j, info: r.info}, nil
+}
+
+// Recovery reports what Open found in the directory.
+func (s *Store) Recovery() RecoveryInfo { return s.info }
+
+// Sync blocks until every previously appended row is durable.
+func (s *Store) Sync() error { return s.j.w.sync() }
+
+// Checkpoint persists every column — merged string main parts and full
+// numeric columns — and truncates the WAL segments this makes redundant.
+// String delta rows stay in the WAL until a merge folds them. Safe against
+// concurrent string appends and merges; quiesce numeric appends first
+// (numeric Append is not goroutine-safe to begin with).
+func (s *Store) Checkpoint() error { return s.j.checkpointAll() }
+
+// Err reports a sticky background failure: a WAL write/fsync error or a
+// failed merge-time checkpoint. A store with a non-nil Err keeps serving
+// reads and in-memory writes but makes no further durability promises.
+func (s *Store) Err() error { return s.j.err() }
+
+// Close flushes and closes the WAL. The store remains readable; further
+// appends are no longer journaled durably and Err reports the closed state.
+func (s *Store) Close() error { return s.j.w.close() }

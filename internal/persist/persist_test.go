@@ -1,0 +1,287 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"strdict/internal/dict"
+)
+
+// syncOpts makes every append durable immediately, so tests reason about
+// exact durable contents without timing.
+var syncOpts = Options{FsyncInterval: -1}
+
+func openSync(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, syncOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fillStore populates a small mixed-type store and returns the expected
+// string rows.
+func fillStore(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	tb := s.AddTable("t")
+	sc := tb.AddString("s", dict.Array)
+	ic := tb.AddInt64("i")
+	fc := tb.AddFloat64("f")
+	var rows []string
+	for i := 0; i < n; i++ {
+		v := fmt.Sprintf("value-%03d", i%7)
+		sc.Append(v)
+		rows = append(rows, v)
+		ic.Append(int64(i * 3))
+		fc.Append(float64(i) / 4)
+	}
+	return rows
+}
+
+// verifyStore checks the store holds exactly the expected rows.
+func verifyStore(t *testing.T, s *Store, rows []string) {
+	t.Helper()
+	tb := s.Table("t")
+	sc, ic, fc := tb.Str("s"), tb.Int("i"), tb.Float("f")
+	if sc.Len() != len(rows) {
+		t.Fatalf("string rows = %d, want %d", sc.Len(), len(rows))
+	}
+	for i, want := range rows {
+		if got := sc.Get(i); got != want {
+			t.Fatalf("row %d = %q, want %q", i, got, want)
+		}
+	}
+	if ic.Len() != len(rows) || fc.Len() != len(rows) {
+		t.Fatalf("numeric rows = %d/%d, want %d", ic.Len(), fc.Len(), len(rows))
+	}
+	for i := range rows {
+		if ic.Get(i) != int64(i*3) {
+			t.Fatalf("int row %d = %d", i, ic.Get(i))
+		}
+		if fc.Get(i) != float64(i)/4 {
+			t.Fatalf("float row %d = %v", i, fc.Get(i))
+		}
+	}
+}
+
+func TestOpenFreshAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openSync(t, dir)
+	if s.Recovery().ManifestLoaded || s.Recovery().Segments != 0 {
+		t.Fatalf("fresh dir recovery = %+v", s.Recovery())
+	}
+	rows := fillStore(t, s, 50)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openSync(t, dir)
+	info := s2.Recovery()
+	if info.ManifestLoaded {
+		t.Fatalf("no checkpoint was written, yet manifest loaded")
+	}
+	if info.ReplayedRows != 150 {
+		t.Fatalf("replayed = %d, want 150", info.ReplayedRows)
+	}
+	verifyStore(t, s2, rows)
+	s2.Close()
+}
+
+func TestCrashLosesNothingWithSyncEveryAppend(t *testing.T) {
+	dir := t.TempDir()
+	s := openSync(t, dir)
+	rows := fillStore(t, s, 30)
+	s.j.w.crash() // no flush, no close
+
+	s2 := openSync(t, dir)
+	verifyStore(t, s2, rows)
+	s2.Close()
+}
+
+func TestMergeCheckpointAndReplayOnTop(t *testing.T) {
+	dir := t.TempDir()
+	s := openSync(t, dir)
+	rows := fillStore(t, s, 40)
+	s.Table("t").Str("s").Merge(dict.FCBlock)
+	if err := s.Err(); err != nil {
+		t.Fatalf("checkpoint after merge: %v", err)
+	}
+	// More rows after the checkpoint; they live only in the WAL.
+	sc := s.Table("t").Str("s")
+	for i := 0; i < 10; i++ {
+		v := fmt.Sprintf("post-%d", i)
+		sc.Append(v)
+		rows = append(rows, v)
+		s.Table("t").Int("i").Append(int64((40 + i) * 3))
+		s.Table("t").Float("f").Append(float64(40+i) / 4)
+	}
+	s.j.w.crash()
+
+	s2 := openSync(t, dir)
+	info := s2.Recovery()
+	if !info.ManifestLoaded {
+		t.Fatalf("manifest not loaded: %+v", info)
+	}
+	if info.CheckpointRows != 40 {
+		t.Fatalf("checkpoint rows = %d, want 40", info.CheckpointRows)
+	}
+	if info.SkippedRows == 0 {
+		t.Fatalf("expected checkpoint-covered rows to be skipped during replay")
+	}
+	verifyStore(t, s2, rows)
+	if f := s2.Table("t").Str("s").Format(); f != dict.FCBlock {
+		t.Fatalf("recovered format = %s, want fc block", f)
+	}
+	s2.Close()
+}
+
+func TestStoreCheckpointCoversNumericAndTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FsyncInterval: -1, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fillStore(t, s, 200) // several rotations at 512B segments
+	segsFill, _ := listWALSegments(dir)
+	if len(segsFill) < 4 {
+		t.Fatalf("expected several WAL segments after fill, got %d", len(segsFill))
+	}
+	s.Table("t").Str("s").Merge(dict.Array)
+	// Two checkpoints: truncation requires BOTH retained manifests to cover
+	// a segment, so the first one deletes nothing and the second clears the
+	// backlog.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := listWALSegments(dir)
+	if len(segsAfter) >= len(segsFill) {
+		t.Fatalf("WAL not truncated: %d -> %d segments", len(segsFill), len(segsAfter))
+	}
+
+	// A post-checkpoint row survives through the remaining WAL.
+	s.Table("t").Int("i").Append(600)
+	s.Close()
+
+	s2 := openSync(t, dir)
+	tb := s2.Table("t")
+	if tb.Int("i").Len() != 201 || tb.Int("i").Get(200) != 600 {
+		t.Fatalf("int tail lost: len=%d", tb.Int("i").Len())
+	}
+	if tb.Str("s").Len() != len(rows) {
+		t.Fatalf("string rows = %d, want %d", tb.Str("s").Len(), len(rows))
+	}
+	for i, want := range rows {
+		if got := tb.Str("s").Get(i); got != want {
+			t.Fatalf("row %d = %q, want %q", i, got, want)
+		}
+	}
+	s2.Close()
+}
+
+func TestManifestGCKeepsTwo(t *testing.T) {
+	dir := t.TempDir()
+	s := openSync(t, dir)
+	fillStore(t, s, 20)
+	for i := 0; i < 5; i++ {
+		s.Table("t").Int("i").Append(int64(i))
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	entries, _ := os.ReadDir(dir)
+	var manifests, parts int
+	for _, e := range entries {
+		if _, ok := parseManifestSeq(e.Name()); ok {
+			manifests++
+		}
+		if _, ok := parsePartSeq(e.Name()); ok {
+			parts++
+		}
+	}
+	if manifests != 2 {
+		t.Fatalf("manifests on disk = %d, want 2", manifests)
+	}
+	// At most 2 manifests × 3 columns parts remain referenced.
+	if parts > 6 {
+		t.Fatalf("parts on disk = %d, want <= 6", parts)
+	}
+}
+
+func TestReopenManyGenerations(t *testing.T) {
+	dir := t.TempDir()
+	var rows []string
+	s := openSync(t, dir)
+	tb := s.AddTable("t")
+	tb.AddString("s", dict.ArrayBC)
+	tb.AddInt64("i")
+	tb.AddFloat64("f")
+	for gen := 0; gen < 6; gen++ {
+		tb = s.Table("t")
+		for i := 0; i < 15; i++ {
+			v := fmt.Sprintf("g%d-%d", gen, i%5)
+			tb.Str("s").Append(v)
+			rows = append(rows, v)
+			tb.Int("i").Append(int64(len(rows) * 3))
+			tb.Float("f").Append(float64(len(rows)) / 4)
+		}
+		switch gen % 3 {
+		case 0:
+			tb.Str("s").Merge(dict.ArrayBC)
+		case 1:
+			tb.Str("s").MergePartial(1)
+		}
+		if gen%2 == 0 {
+			s.j.w.crash()
+		} else {
+			s.Close()
+		}
+		s = openSync(t, dir)
+		sc := s.Table("t").Str("s")
+		if sc.Len() != len(rows) {
+			t.Fatalf("gen %d: rows = %d, want %d", gen, sc.Len(), len(rows))
+		}
+		for i, want := range rows {
+			if got := sc.Get(i); got != want {
+				t.Fatalf("gen %d row %d = %q, want %q", gen, i, got, want)
+			}
+		}
+		ic, fc := s.Table("t").Int("i"), s.Table("t").Float("f")
+		for i := range rows {
+			if ic.Get(i) != int64((i+1)*3) || fc.Get(i) != float64(i+1)/4 {
+				t.Fatalf("gen %d numeric row %d mismatch", gen, i)
+			}
+		}
+	}
+	s.Close()
+}
+
+func TestSchemaOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openSync(t, dir)
+	tb := s.AddTable("empty")
+	tb.AddString("s", dict.FCInline)
+	tb.AddInt64("i")
+	s.Close()
+
+	s2 := openSync(t, dir)
+	tb = s2.Table("empty")
+	if tb.Str("s").Len() != 0 || tb.Str("s").Format() != dict.FCInline {
+		t.Fatalf("schema not recovered: len=%d format=%s", tb.Str("s").Len(), tb.Str("s").Format())
+	}
+	// The recovered column is fully writable.
+	tb.Str("s").Append("x")
+	tb.Int("i").Append(1)
+	s2.Close()
+
+	s3 := openSync(t, dir)
+	if got := s3.Table("empty").Str("s").Get(0); got != "x" {
+		t.Fatalf("post-recovery append lost: %q", got)
+	}
+	s3.Close()
+}

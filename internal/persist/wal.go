@@ -1,0 +1,360 @@
+package persist
+
+// The delta write-ahead log. One directory of numbered segment files
+// (wal-%08d.log); each segment starts with a 5-byte preamble (magic "SWAL",
+// version) followed by CRC32C-framed records (see record.go). The first
+// record is always a header carrying the segment's sequence number and, per
+// column, the number of append records written to all earlier segments —
+// the absolute record index the segment starts at. That table is what lets
+// recovery replay a suffix of the log after older, checkpoint-covered
+// segments have been deleted.
+//
+// Writes are group-committed: appends are framed into an in-memory buffer
+// under the WAL mutex and acknowledged to disk by a flusher goroutine that
+// writes and fsyncs the buffer every FsyncInterval (or inline, when the
+// interval is negative). Rows are durable — guaranteed to survive a crash —
+// only once their frame has been fsynced; Sync exposes the barrier.
+//
+// Rotation: once a segment's durable size passes segBytes, the WAL writes a
+// seal record, fsyncs, closes the file and opens the next segment. Sealed
+// segments are immutable; the journal deletes them once a checkpoint
+// manifest covers every row they hold.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	walMagic   = "SWAL"
+	walVersion = 1
+
+	// DefaultFsyncInterval is the group-commit interval when Options leaves
+	// it zero: small enough that a crash loses at most a few milliseconds of
+	// acknowledged-to-memory rows, large enough to batch thousands of
+	// appends per fsync.
+	DefaultFsyncInterval = 5 * time.Millisecond
+
+	// DefaultSegmentBytes is the rotation threshold when Options leaves it
+	// zero.
+	DefaultSegmentBytes = 4 << 20
+)
+
+// walFile is the slice of *os.File the WAL needs; tests substitute a
+// fault-injecting implementation to exercise write/sync failures.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// segmentInfo tracks one sealed on-disk segment.
+type segmentInfo struct {
+	seq  uint64
+	path string
+	// end holds, per column, the absolute append-record count at the end of
+	// this segment (== the next segment's header table).
+	end map[uint32]uint64
+}
+
+type wal struct {
+	dir       string
+	segBytes  int64
+	syncEvery bool // fsync inline on every append (FsyncInterval < 0)
+
+	mu      sync.Mutex
+	f       walFile
+	path    string
+	seq     uint64            // current segment sequence number
+	written int64             // bytes handed to f for the current segment
+	durable int64             // bytes fsynced of the current segment
+	buf     []byte            // framed records not yet written to f
+	counts  map[uint32]uint64 // absolute append-record count per column
+	sealed  []segmentInfo     // sealed segments still on disk, oldest first
+	err     error             // sticky write/sync failure
+
+	// newFile creates a segment file; tests inject failures here.
+	newFile func(path string) (walFile, error)
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+func osCreate(path string) (walFile, error) { return os.Create(path) }
+
+func walSegmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+// parseWALSeq extracts the sequence number from a segment file name,
+// returning ok=false for non-segment files.
+func parseWALSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listWALSegments returns the segment files in dir in ascending sequence
+// order.
+func listWALSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if seq, ok := parseWALSeq(e.Name()); ok {
+			segs = append(segs, segmentInfo{seq: seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// newWAL opens a fresh active segment at seq, continuing the given absolute
+// record counts and sealed-segment bookkeeping (both from recovery; empty
+// on a fresh store), and starts the flusher unless syncEvery.
+func newWAL(dir string, segBytes int64, fsync time.Duration, seq uint64, counts map[uint32]uint64, sealed []segmentInfo) (*wal, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	w := &wal{
+		dir:      dir,
+		segBytes: segBytes,
+		seq:      seq,
+		counts:   counts,
+		sealed:   sealed,
+		newFile:  osCreate,
+	}
+	if counts == nil {
+		w.counts = make(map[uint32]uint64)
+	}
+	if fsync < 0 {
+		w.syncEvery = true
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if !w.syncEvery {
+		interval := fsync
+		if interval == 0 {
+			interval = DefaultFsyncInterval
+		}
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flusher(interval)
+	}
+	return w, nil
+}
+
+// openSegmentLocked creates the active segment file and writes its preamble
+// and header record (buffered; durable at the next flush).
+func (w *wal) openSegmentLocked() error {
+	w.path = walSegmentPath(w.dir, w.seq)
+	f, err := w.newFile(w.path)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.written, w.durable = 0, 0
+	w.buf = append(w.buf, walMagic...)
+	w.buf = append(w.buf, walVersion)
+	w.buf = appendFrame(w.buf, encHeader(w.seq, w.counts))
+	return nil
+}
+
+// flusher is the group-commit goroutine.
+func (w *wal) flusher(interval time.Duration) {
+	defer close(w.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			w.flushLocked()
+			w.mu.Unlock()
+		}
+	}
+}
+
+// append frames a payload into the buffer. isAppend marks row records,
+// whose absolute per-column count feeds segment headers; the count is
+// bumped under the same lock that orders the record into the log, so the
+// two can never disagree. Errors are sticky: after a write/sync failure
+// every later append reports it (rows are not silently dropped on a dead
+// log — callers surface the error through Sync/Close).
+func (w *wal) append(payload []byte, isAppend bool, id uint32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = appendFrame(w.buf, payload)
+	if isAppend {
+		w.counts[id]++
+	}
+	if w.syncEvery {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the buffer, fsyncs, and rotates if the segment is
+// full. The caller holds mu.
+func (w *wal) flushLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) > 0 {
+		n, err := w.f.Write(w.buf)
+		w.written += int64(n)
+		if err != nil {
+			w.err = err
+			return err
+		}
+		w.buf = w.buf[:0]
+	}
+	if w.durable == w.written {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.durable = w.written
+	if w.durable >= w.segBytes {
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens the next one. The caller
+// holds mu and has flushed; the seal record is written and fsynced so a
+// sealed segment always ends on a complete frame.
+func (w *wal) rotateLocked() error {
+	seal := appendFrame(nil, []byte{recSeal})
+	if _, err := w.f.Write(seal); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.err = err
+		return err
+	}
+	end := make(map[uint32]uint64, len(w.counts))
+	for id, n := range w.counts {
+		end[id] = n
+	}
+	w.sealed = append(w.sealed, segmentInfo{seq: w.seq, path: w.path, end: end})
+	w.seq++
+	return w.openSegmentLocked()
+}
+
+// sync forces a group commit: every row appended before the call is durable
+// when it returns without error.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+// close stops the flusher, commits the remaining buffer and closes the
+// active segment.
+func (w *wal) close() error {
+	w.stopFlusher()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.flushLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if w.err == nil {
+		w.err = os.ErrClosed
+	}
+	return err
+}
+
+// crash abandons the WAL without flushing: the disk keeps only what was
+// already written. Test hook simulating a process kill.
+func (w *wal) crash() {
+	w.stopFlusher()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.f.Close()
+	w.err = os.ErrClosed
+}
+
+func (w *wal) stopFlusher() {
+	if w.flushStop != nil {
+		close(w.flushStop)
+		<-w.flushDone
+		w.flushStop = nil
+	}
+}
+
+// activeSeq returns the sequence number of the segment currently being
+// written.
+func (w *wal) activeSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// deleteCovered removes sealed segments whose every row is covered by the
+// given per-column durable row counts (elementwise: a segment survives if
+// any column's count at its end exceeds the cover). Only segments with
+// seq < maxSeq are eligible: the caller passes the segment that was active
+// when the previous manifest was written, so both retained manifests are
+// guaranteed to postdate — and therefore contain the schema of — every
+// deleted segment. Segments are deleted oldest-first and deletion stops at
+// the first survivor, keeping the on-disk chain contiguous.
+func (w *wal) deleteCovered(cover map[uint32]uint64, maxSeq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.sealed) > 0 {
+		seg := w.sealed[0]
+		if seg.seq >= maxSeq {
+			return
+		}
+		covered := true
+		for id, n := range seg.end {
+			if n > cover[id] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			return
+		}
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			return // try again at the next checkpoint
+		}
+		w.sealed = w.sealed[1:]
+	}
+}
+
+// durableOffset reports the active segment path and its fsynced length
+// (test hook: the crash-injection suite truncates beyond this point).
+func (w *wal) durableOffset() (string, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.path, w.durable
+}

@@ -1,0 +1,293 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{recSeal},
+		encAppend(3, "hello"),
+		encAppend(0, ""),
+		encHeader(7, map[uint32]uint64{1: 10, 0: 3}),
+		encDDLColumn(recDDLString, 2, 5, "lineitem", "l_shipmode"),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	off := 0
+	for i, want := range payloads {
+		got, next, err := readFrame(buf, off)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("frame %d: got %x want %x", i, got, want)
+		}
+		off = next
+	}
+	if off != len(buf) {
+		t.Fatalf("trailing bytes after last frame")
+	}
+
+	// Every strict prefix of the stream ends in a torn frame.
+	for cut := off - 1; cut > off-9 && cut >= 0; cut-- {
+		o := 0
+		var err error
+		for {
+			_, o, err = readFrame(buf[:cut], o)
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, errTorn) {
+			t.Fatalf("cut %d: err = %v, want errTorn", cut, err)
+		}
+	}
+
+	// A flipped byte is torn, not misread.
+	bad := append([]byte(nil), buf...)
+	bad[8] ^= 0x40 // the first frame's payload byte
+	if _, _, err := readFrame(bad, 0); !errors.Is(err, errTorn) {
+		t.Fatalf("corrupt frame: err = %v, want errTorn", err)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	counts := map[uint32]uint64{9: 1, 2: 1 << 40, 5: 0}
+	p := encHeader(42, counts)
+	seq, got, err := decHeader(p)
+	if err != nil || seq != 42 {
+		t.Fatalf("decHeader: seq=%d err=%v", seq, err)
+	}
+	if len(got) != len(counts) {
+		t.Fatalf("counts = %v", got)
+	}
+	for id, n := range counts {
+		if got[id] != n {
+			t.Fatalf("count[%d] = %d, want %d", id, got[id], n)
+		}
+	}
+	if _, _, err := decHeader(p[:len(p)-1]); err == nil {
+		t.Fatalf("short header accepted")
+	}
+}
+
+func TestDDLColumnRoundTrip(t *testing.T) {
+	for _, kind := range []byte{recDDLString, recDDLInt, recDDLFloat} {
+		p := encDDLColumn(kind, 17, 4, "part", "p_type")
+		id, format, table, column, err := decDDLColumn(p)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if id != 17 || table != "part" || column != "p_type" {
+			t.Fatalf("kind %d: id=%d %s.%s", kind, id, table, column)
+		}
+		if kind == recDDLString && format != 4 {
+			t.Fatalf("string format = %d", format)
+		}
+		if _, _, _, _, err := decDDLColumn(append(p, 0)); err == nil {
+			t.Fatalf("trailing byte accepted")
+		}
+	}
+}
+
+func TestWALRotationAndHeaders(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newWAL(dir, 256, -1, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.append(encAppend(1, "some-value-padding-padding"), true, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listWALSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("segments = %d (err %v), want several", len(segs), err)
+	}
+
+	// Each segment's header must carry the running count at its start, and
+	// the records must chain without gaps.
+	var cnt uint64
+	for i, seg := range segs {
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b[:4]) != walMagic || b[4] != walVersion {
+			t.Fatalf("segment %d: bad preamble", i)
+		}
+		off := 5
+		payload, off, err := readFrame(b, off)
+		if err != nil {
+			t.Fatalf("segment %d: header: %v", i, err)
+		}
+		seq, counts, err := decHeader(payload)
+		if err != nil || seq != seg.seq {
+			t.Fatalf("segment %d: header seq=%d err=%v", i, seq, err)
+		}
+		if counts[1] != cnt {
+			t.Fatalf("segment %d: header count %d, want %d", i, counts[1], cnt)
+		}
+		for off < len(b) {
+			payload, off, err = readFrame(b, off)
+			if err != nil {
+				t.Fatalf("segment %d: torn at %d: %v", i, off, err)
+			}
+			if payload[0] == recAppend {
+				cnt++
+			}
+		}
+	}
+	if cnt != 100 {
+		t.Fatalf("replayed %d appends, want 100", cnt)
+	}
+}
+
+func TestWALDeleteCovered(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newWAL(dir, 200, -1, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		w.append(encAppend(0, "pad-pad-pad-pad-pad-pad"), true, 0)
+	}
+	w.mu.Lock()
+	nSealed := len(w.sealed)
+	var firstEnd uint64
+	if nSealed > 0 {
+		firstEnd = w.sealed[0].end[0]
+	}
+	active := w.seq
+	w.mu.Unlock()
+	if nSealed < 2 {
+		t.Fatalf("sealed = %d, want >= 2", nSealed)
+	}
+
+	// Not covered: nothing deleted.
+	w.deleteCovered(map[uint32]uint64{0: firstEnd - 1}, active)
+	if got := len(w.sealed); got != nSealed {
+		t.Fatalf("deleted despite cover too low: %d -> %d", nSealed, got)
+	}
+	// Covered but maxSeq too low: nothing deleted.
+	w.deleteCovered(map[uint32]uint64{0: 1 << 32}, 0)
+	if got := len(w.sealed); got != nSealed {
+		t.Fatalf("deleted despite maxSeq 0")
+	}
+	// First segment covered.
+	w.deleteCovered(map[uint32]uint64{0: firstEnd}, active)
+	if got := len(w.sealed); got != nSealed-1 {
+		t.Fatalf("sealed after delete = %d, want %d", got, nSealed-1)
+	}
+	if _, err := os.Stat(walSegmentPath(dir, 0)); !os.IsNotExist(err) {
+		t.Fatalf("segment 0 still on disk: %v", err)
+	}
+	// Everything covered.
+	w.deleteCovered(map[uint32]uint64{0: 1 << 32}, active)
+	if len(w.sealed) != 0 {
+		t.Fatalf("sealed not emptied: %d", len(w.sealed))
+	}
+	w.close()
+}
+
+// faultFile fails writes after failAfter bytes, or Sync when failSync.
+type faultFile struct {
+	f         *os.File
+	n         int
+	failAfter int // -1: never
+	failSync  bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.failAfter >= 0 && f.n+len(p) > f.failAfter {
+		k := f.failAfter - f.n
+		if k > 0 {
+			f.f.Write(p[:k])
+		}
+		f.n = f.failAfter
+		return k, errInjected
+	}
+	n, err := f.f.Write(p)
+	f.n += n
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	if f.failSync {
+		return errInjected
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Close() error { return f.f.Close() }
+
+func TestWALStickyWriteError(t *testing.T) {
+	for _, mode := range []string{"write", "sync"} {
+		dir := t.TempDir()
+		w, err := newWAL(dir, 1<<20, -1, 0, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.close()
+		os.RemoveAll(dir)
+		os.MkdirAll(dir, 0o755)
+
+		w = &wal{dir: dir, segBytes: 1 << 20, syncEvery: true, counts: map[uint32]uint64{}}
+		w.newFile = func(path string) (walFile, error) {
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			ff := &faultFile{f: f, failAfter: -1}
+			if mode == "write" {
+				ff.failAfter = 40
+			} else {
+				ff.failSync = true
+			}
+			return ff, nil
+		}
+		w.mu.Lock()
+		if err := w.openSegmentLocked(); err != nil {
+			t.Fatal(err)
+		}
+		w.mu.Unlock()
+
+		if err := w.append(encAppend(0, "zz"), true, 0); !errors.Is(err, errInjected) {
+			t.Fatalf("%s: first append err = %v", mode, err)
+		}
+		if err := w.append(encAppend(0, "zz"), true, 0); !errors.Is(err, errInjected) {
+			t.Fatalf("%s: error not sticky: %v", mode, err)
+		}
+		if err := w.sync(); !errors.Is(err, errInjected) {
+			t.Fatalf("%s: sync err = %v", mode, err)
+		}
+	}
+}
+
+func TestWriteAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x")
+	if err := writeAtomic(p, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back: %q %v", b, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("leftover files: %v", entries)
+	}
+}

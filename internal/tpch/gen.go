@@ -152,11 +152,19 @@ func (g *gen) address() string {
 // Load generates the eight TPC-H tables into a fresh store and merges every
 // string column into the read-optimized part with cfg.InitialFormat.
 func Load(cfg Config) *colstore.Store {
+	s := colstore.NewStore()
+	LoadInto(s, cfg)
+	return s
+}
+
+// LoadInto is Load against a caller-provided empty store — the form the
+// persistence benchmark uses, where the store carries a journal and every
+// generated row must flow through it.
+func LoadInto(s *colstore.Store, cfg Config) {
 	if cfg.ScaleFactor <= 0 {
 		cfg.ScaleFactor = 0.01
 	}
 	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed))}
-	s := colstore.NewStore()
 
 	nSupp := scaled(sfSupplier, cfg.ScaleFactor)
 	nCust := scaled(sfCustomer, cfg.ScaleFactor)
@@ -177,7 +185,6 @@ func Load(cfg Config) *colstore.Store {
 		}
 	}
 	s.ResetStats()
-	return s
 }
 
 func scaled(base int, sf float64) int {

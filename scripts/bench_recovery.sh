@@ -1,0 +1,83 @@
+#!/bin/sh
+# Durability benchmark gate: runs BenchmarkAppendDurability (plain in-memory
+# append vs the same append journaled to the WAL with group commit, and the
+# worst-case fsync-every-append mode) and BenchmarkRecovery (Open on a
+# replay-heavy vs checkpoint-heavy directory), and writes BENCH_recovery.json
+# at the repo root. The headline numbers are the WAL write overhead over the
+# in-memory append and the recovery throughput in rows/s for both extremes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_recovery.txt
+go test -run '^$' -bench 'BenchmarkAppendDurability|BenchmarkRecovery' \
+    -benchtime=300ms -count=1 ./internal/persist/ | tee "$out"
+
+awk '
+/^BenchmarkAppendDurability\// {
+    name = $1
+    sub(/^BenchmarkAppendDurability\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    app[name] = $3
+}
+/^BenchmarkRecovery\// {
+    name = $1
+    sub(/^BenchmarkRecovery\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    nsop[name] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "rows/s") rows[name] = $i
+        if ($(i+1) == "MB/s") mbs[name] = $i
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"recovery\",\n"
+    printf "  \"append_ns_per_op\": {\"inmemory\": %s, \"wal\": %s, \"walsync\": %s},\n", \
+        app["inmemory"], app["wal"], app["walsync"]
+    printf "  \"wal_overhead\": %.2f,\n", app["wal"] / app["inmemory"]
+    printf "  \"recovery_ns_per_op\": {\"replay\": %s, \"checkpoint\": %s},\n", \
+        nsop["replay"], nsop["checkpoint"]
+    printf "  \"recovery_rows_per_sec\": {\"replay\": %s, \"checkpoint\": %s},\n", \
+        rows["replay"], rows["checkpoint"]
+    printf "  \"recovery_mb_per_sec\": {\"replay\": %s, \"checkpoint\": %s}\n", \
+        mbs["replay"], mbs["checkpoint"]
+    printf "}\n"
+}' "$out" > BENCH_recovery.json
+rm -f "$out"
+
+cat BENCH_recovery.json
+
+# Gates: group commit must keep the journaled append within 100x of the
+# in-memory append and clearly cheaper than fsync-per-append; WAL replay
+# must sustain at least 500k rows/s; restoring from checkpoint parts must
+# be no slower than replaying the same rows from the WAL.
+awk '
+/"append_ns_per_op"/ {
+    mem = $0; sub(/.*"inmemory": /, "", mem); sub(/,.*/, "", mem)
+    wal = $0; sub(/.*"wal": /, "", wal); sub(/,.*/, "", wal)
+    syn = $0; sub(/.*"walsync": /, "", syn); sub(/}.*/, "", syn)
+    if (wal + 0 > 100 * (mem + 0)) {
+        printf "FAIL: WAL append %sns > 100x in-memory append %sns\n", wal, mem
+        exit 1
+    }
+    if (wal + 0 >= syn + 0) {
+        printf "FAIL: group commit %sns not cheaper than fsync-per-append %sns\n", wal, syn
+        exit 1
+    }
+    printf "OK: WAL append %sns, %.1fx over in-memory %sns (fsync-per-append %sns)\n", \
+        wal, wal / mem, mem, syn
+}
+/"recovery_rows_per_sec"/ {
+    rep = $0; sub(/.*"replay": /, "", rep); sub(/,.*/, "", rep)
+    ckp = $0; sub(/.*"checkpoint": /, "", ckp); sub(/}.*/, "", ckp)
+    if (rep + 0 < 500000) {
+        printf "FAIL: WAL replay recovers %s rows/s < 500k rows/s floor\n", rep
+        exit 1
+    }
+    if (ckp + 0 < rep + 0) {
+        printf "FAIL: checkpoint restore %s rows/s slower than WAL replay %s rows/s\n", ckp, rep
+        exit 1
+    }
+    printf "OK: recovery %s rows/s (replay), %s rows/s (checkpoint)\n", rep, ckp
+}' BENCH_recovery.json

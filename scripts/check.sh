@@ -10,3 +10,9 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+# Short fuzz smoke on the binary decoders: the unmarshal paths must reject
+# arbitrary bytes without panicking before any of it is fed WAL/checkpoint
+# payloads at recovery time.
+go test -run '^$' -fuzz FuzzUnmarshalPacked -fuzztime 5s ./internal/intcomp/
+go test -run '^$' -fuzz FuzzUnmarshal -fuzztime 5s ./internal/dict/

@@ -44,6 +44,7 @@ import (
 	"strdict/internal/core"
 	"strdict/internal/dict"
 	"strdict/internal/model"
+	"strdict/internal/persist"
 )
 
 // Format identifies one of the 18 dictionary variants.
@@ -273,6 +274,30 @@ func ReconfigureParallel(s *Store, mgr *Manager, lifetimeNs float64, sampleRatio
 		out[c.Name()] = chosen[i]
 	}
 	return out
+}
+
+// PersistentStore is a Store whose contents survive process crashes: row
+// appends go to a group-committed write-ahead log and every merge
+// checkpoints the freshly built main part in its compressed form. All Store
+// functionality is embedded and journaled transparently.
+type PersistentStore = persist.Store
+
+// StoreOptions tunes a persistent store's durability behaviour.
+type StoreOptions = persist.Options
+
+// RecoveryInfo reports what OpenStore found in the directory: the
+// checkpoint it loaded, the WAL rows it replayed, and any torn or corrupt
+// regions it quarantined.
+type RecoveryInfo = persist.RecoveryInfo
+
+// OpenStore opens (or creates) the persistent store in dir, recovering its
+// contents bit-identically to the last durable snapshot: the newest intact
+// checkpoint plus the write-ahead log replayed on top. Rows appended after
+// OpenStore are durable once fsynced — within StoreOptions.FsyncInterval,
+// or immediately after PersistentStore.Sync. Call Checkpoint to persist
+// main parts eagerly and Close before exit.
+func OpenStore(dir string, opts StoreOptions) (*PersistentStore, error) {
+	return persist.Open(dir, opts)
 }
 
 // Marshal serializes a dictionary to its versioned binary form, suitable
