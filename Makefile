@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all bench-recovery check
+.PHONY: all build test race vet bench bench-all bench-recovery bench-formats check
 
 all: check
 
@@ -30,8 +30,15 @@ bench:
 bench-recovery:
 	sh scripts/bench_recovery.sh
 
+# Extension-format gate: onpair and lz78 vs the strongest built-in
+# compressors on synthetic and TPC-H corpora; writes BENCH_formats.json.
+bench-formats:
+	sh scripts/bench_formats.sh
+
 # Every figure and ablation benchmark, one iteration each.
 bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-check: build vet test race
+# Tier-1 verification plus the fuzz smoke and registry-completeness gates.
+check:
+	sh scripts/check.sh

@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"strdict/internal/experiments"
 	"strdict/internal/model"
 	"strdict/internal/sysstat"
+	"strdict/internal/tpch"
 )
 
 // figureOut prints a figure's table once per process, keeping -bench output
@@ -507,4 +509,69 @@ func BenchmarkBaselineHash(b *testing.B) {
 			buf = a.AppendExtract(buf[:0], uint32(i*2654435761)%uint32(a.Len()))
 		}
 	})
+}
+
+// tpchStringCorpus loads a small TPC-H instance and returns one string
+// column's sorted distinct values — a dictionary-build corpus in the
+// paper's modified (string-key) schema.
+func tpchStringCorpus(table, column string, n int) []string {
+	s := tpch.Load(tpch.Config{ScaleFactor: 0.01, Seed: 1, InitialFormat: dict.Array})
+	c := s.Table(table).Str(column)
+	seen := make(map[string]bool)
+	for i := 0; i < c.Len(); i++ {
+		seen[c.Get(i)] = true
+	}
+	strs := make([]string, 0, len(seen))
+	for v := range seen {
+		strs = append(strs, v)
+	}
+	sort.Strings(strs)
+	if len(strs) > n {
+		strs = strs[:n]
+	}
+	return strs
+}
+
+// BenchmarkNewFormats is the registered-extension gate behind
+// scripts/bench_formats.sh: it measures the onpair and lz78 extension
+// formats against the survey's strongest general-purpose compressors
+// (array rp 16, fc block rp 16) on synthetic and TPC-H corpora. Each
+// sub-benchmark reports the compression rate (compressed bytes / raw bytes)
+// alongside extract and locate per-op costs; the script collects them into
+// BENCH_formats.json.
+func BenchmarkNewFormats(b *testing.B) {
+	corpora := []struct {
+		name string
+		strs []string
+	}{
+		{"src", datagen.Generate("src", 10000, 1)},
+		{"url", datagen.Generate("url", 10000, 1)},
+		{"tpch_p_comment", tpchStringCorpus("part", "p_comment", 10000)},
+		{"tpch_o_orderkey", tpchStringCorpus("orders", "o_orderkey", 10000)},
+	}
+	formats := []dict.Format{dict.OnPair, dict.LZ78, dict.ArrayRP16, dict.FCBlockRP16}
+	for _, c := range corpora {
+		var raw uint64
+		for _, s := range c.strs {
+			raw += uint64(len(s))
+		}
+		for _, f := range formats {
+			d := dict.BuildUnchecked(f, c.strs)
+			rate := float64(d.Bytes()) / float64(raw)
+			fname := strings.ReplaceAll(f.String(), " ", "_")
+			b.Run(c.name+"/"+fname+"/extract", func(b *testing.B) {
+				var buf []byte
+				for i := 0; i < b.N; i++ {
+					buf = d.AppendExtract(buf[:0], uint32(i*2654435761)%uint32(d.Len()))
+				}
+				b.ReportMetric(rate, "rate")
+			})
+			b.Run(c.name+"/"+fname+"/locate", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d.Locate(c.strs[(i*2654435761)%len(c.strs)])
+				}
+				b.ReportMetric(rate, "rate")
+			})
+		}
+	}
 }

@@ -1,6 +1,6 @@
 // Command dictbench regenerates the dictionary-survey figures of the paper:
 //
-//	-figure 3   compression rate vs extract runtime of all 18 variants (src)
+//	-figure 3   compression rate vs extract runtime of all variants (src)
 //	-figure 4   best compression rates per data set
 //	-figure 5   fastest extract runtimes per data set
 //	-figure 9   the selection-strategy illustration of Section 5.4

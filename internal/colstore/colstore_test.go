@@ -89,7 +89,7 @@ func TestMergeQuick(t *testing.T) {
 				clean = append(clean, v)
 			}
 		}
-		format := dict.Format(int(fmtIdx) % dict.NumFormats)
+		format := dict.Format(int(fmtIdx) % dict.NumFormats())
 		c := NewStringColumn("t.c", dict.Array)
 		for _, v := range clean {
 			c.Append(v)

@@ -125,7 +125,8 @@ func (v *columnVersion) sealedValue(off int) string {
 }
 
 // StringColumn is a dictionary-encoded string column: the main part holds a
-// read-only dictionary in one of the 18 formats plus a bit-packed vector of
+// read-only dictionary in one of the registered formats plus a bit-packed
+// vector of
 // value IDs; the delta part absorbs appends until the next merge.
 //
 // All exported methods are safe for concurrent use. Reads of the main part

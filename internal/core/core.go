@@ -77,7 +77,7 @@ func Candidates(stats ColumnStats, costs *model.CostTable) []Candidate {
 	return CandidatesParallel(stats, costs, 1)
 }
 
-// CandidatesParallel is Candidates with the 18 per-format size models fanned
+// CandidatesParallel is Candidates with the per-format size models fanned
 // out across a bounded worker pool (parallelism <= 1 is serial). The models
 // are independent — the Re-Pair probe, the long pole, runs alongside the
 // cheap closed formulas instead of after them — and the returned slice is
@@ -90,7 +90,7 @@ func CandidatesParallel(stats ColumnStats, costs *model.CostTable, parallelism i
 		stats.LifetimeNs = 1
 	}
 	sizes := model.EstimateEach(stats.Sample, parallelism)
-	out := make([]Candidate, 0, dict.NumFormats)
+	out := make([]Candidate, 0, dict.NumFormats())
 	for _, f := range dict.AllFormats() {
 		t := costs.TimeNs(f, stats.Extracts, stats.Locates, stats.NumStrings)
 		out = append(out, Candidate{

@@ -77,7 +77,7 @@ func TestSelectAlwaysAdmitsSmallest(t *testing.T) {
 		cands := make([]Candidate, n)
 		for i := 0; i < n; i++ {
 			cands[i] = Candidate{
-				Format:    dict.Format(i % dict.NumFormats),
+				Format:    dict.Format(i % dict.NumFormats()),
 				SizeBytes: uint64(sizes[i]) + 1,
 				RelTime:   float64(times[i]) / 65536,
 			}
@@ -151,7 +151,7 @@ func TestCandidatesUseModels(t *testing.T) {
 		Sample:            model.TakeSample(strs, 1.0, 1),
 	}
 	cands := Candidates(stats, model.DefaultCostTable())
-	if len(cands) != dict.NumFormats {
+	if len(cands) != dict.NumFormats() {
 		t.Fatalf("%d candidates", len(cands))
 	}
 	// Sorted by rel time.

@@ -1,0 +1,89 @@
+package core
+
+// Cross-version serialization compatibility. testdata/golden holds one
+// pre-registry (serialization v2, single-byte format field) dictionary blob
+// per built-in format, built over testdata/golden/corpus.txt and committed
+// as frozen bytes. The registry refactor moved format identification to wire
+// IDs and bumped the serialization version; these fixtures prove old bytes
+// still load bit-identically. Never regenerate them — their whole value is
+// that current code did not write them.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strdict/internal/dict"
+)
+
+func goldenCorpus(t *testing.T) []string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "golden", "corpus.txt"))
+	if err != nil {
+		t.Fatalf("golden corpus: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("golden corpus suspiciously small: %d lines", len(lines))
+	}
+	return lines
+}
+
+func TestGoldenV2DictionariesRecover(t *testing.T) {
+	corpus := goldenCorpus(t)
+	for _, f := range dict.AllFormats() {
+		if int(f) >= dict.NumBuiltinFormats {
+			continue // extensions postdate the v2 fixtures
+		}
+		name := strings.ReplaceAll(f.String(), " ", "_") + ".v2.sdic"
+		blob, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+		if err != nil {
+			t.Errorf("missing golden fixture for %v: %v", f, err)
+			continue
+		}
+		d, err := dict.Unmarshal(blob)
+		if err != nil {
+			t.Errorf("%v: unmarshal golden v2 bytes: %v", f, err)
+			continue
+		}
+		if d.Format() != f {
+			t.Errorf("%s decoded as %v, want %v", name, d.Format(), f)
+			continue
+		}
+		if d.Len() != len(corpus) {
+			t.Errorf("%v: Len = %d, want %d", f, d.Len(), len(corpus))
+			continue
+		}
+		for i, want := range corpus {
+			if got := d.Extract(uint32(i)); got != want {
+				t.Errorf("%v: Extract(%d) = %q, want %q", f, i, got, want)
+				break
+			}
+		}
+		for _, i := range []int{0, 1, len(corpus) / 2, len(corpus) - 1} {
+			if id, ok := d.Locate(corpus[i]); !ok || id != uint32(i) {
+				t.Errorf("%v: Locate(%q) = (%d, %v), want %d", f, corpus[i], id, ok, i)
+			}
+		}
+
+		// A re-marshal under the current version must round-trip to the same
+		// contents (the bytes themselves legitimately differ: v3 header).
+		reblob, err := dict.Marshal(d)
+		if err != nil {
+			t.Errorf("%v: re-marshal: %v", f, err)
+			continue
+		}
+		d2, err := dict.Unmarshal(reblob)
+		if err != nil {
+			t.Errorf("%v: re-unmarshal: %v", f, err)
+			continue
+		}
+		for i, want := range corpus {
+			if got := d2.Extract(uint32(i)); got != want {
+				t.Errorf("%v: v3 round-trip Extract(%d) = %q, want %q", f, i, got, want)
+				break
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
-// Package dict implements the 18 compressed string dictionary formats
-// surveyed in Section 3 of the paper: the array and front-coding dictionary
-// classes combined with six string compression schemes (none, bit
-// compression, Huffman/Hu-Tucker, 2-gram, 3-gram, Re-Pair 12/16 bit), plus
-// the special-purpose variants inline front coding, front coding with
-// difference-to-first, fixed-length array, and column-wise bit compression.
+// Package dict implements compressed string dictionary formats behind a
+// registry. The built-ins are the 18 formats surveyed in Section 3 of the
+// paper: the array and front-coding dictionary classes combined with six
+// string compression schemes (none, bit compression, Huffman/Hu-Tucker,
+// 2-gram, 3-gram, Re-Pair 12/16 bit), plus the special-purpose variants
+// inline front coding, front coding with difference-to-first, fixed-length
+// array, and column-wise bit compression. Extension formats (onpair, lz78)
+// register through the same seam; see registry.go.
 //
 // A dictionary is a read-only, order-preserving mapping between the sorted
 // distinct strings of a column and dense integer value IDs (the string's
@@ -21,10 +23,14 @@ import (
 	"strings"
 )
 
-// Format enumerates the dictionary variants. The names follow the paper:
-// the data structure first, then the string compression scheme.
+// Format is the registry handle of a dictionary variant: a dense index into
+// the format registry, assigned in registration order. It identifies a
+// format within one process only; the persisted identifier is the format's
+// WireID (see registry.go).
 type Format int
 
+// The formats of the paper's survey occupy the first NumBuiltinFormats
+// registry slots, in this order.
 const (
 	Array Format = iota
 	ArrayBC
@@ -45,85 +51,102 @@ const (
 	FCInline
 	ColumnBC
 
-	// NumFormats is the number of dictionary variants.
-	NumFormats int = iota
+	// NumBuiltinFormats is the number of built-in dictionary variants from
+	// the paper's survey. Registered extensions take indexes from here up;
+	// NumFormats() counts all of them.
+	NumBuiltinFormats int = iota
 )
 
-var formatNames = [...]string{
-	Array:       "array",
-	ArrayBC:     "array bc",
-	ArrayHU:     "array hu",
-	ArrayNG2:    "array ng2",
-	ArrayNG3:    "array ng3",
-	ArrayRP12:   "array rp 12",
-	ArrayRP16:   "array rp 16",
-	ArrayFixed:  "array fixed",
-	FCBlock:     "fc block",
-	FCBlockBC:   "fc block bc",
-	FCBlockDF:   "fc block df",
-	FCBlockHU:   "fc block hu",
-	FCBlockNG2:  "fc block ng2",
-	FCBlockNG3:  "fc block ng3",
-	FCBlockRP12: "fc block rp 12",
-	FCBlockRP16: "fc block rp 16",
-	FCInline:    "fc inline",
-	ColumnBC:    "column bc",
-}
-
-// String returns the paper's name for the format, e.g. "fc block rp 12".
+// String returns the format's registered name, e.g. "fc block rp 12".
 func (f Format) String() string {
-	if f < 0 || int(f) >= len(formatNames) {
-		return fmt.Sprintf("format(%d)", int(f))
+	if info, ok := formatInfo(f); ok {
+		return info.Name
 	}
-	return formatNames[f]
+	return fmt.Sprintf("format(%d)", int(f))
 }
 
-// ParseFormat converts a format name back to its Format value.
+// ParseFormat converts a format name back to its Format value. Matching is
+// case- and whitespace-insensitive against the registered names; unknown
+// names yield an error that lists the registry (and suggests the nearest
+// name when one is close).
 func ParseFormat(name string) (Format, error) {
-	name = strings.TrimSpace(name)
-	for i, n := range formatNames {
-		if n == name {
-			return Format(i), nil
+	if f, ok := byName[normalizeFormatName(name)]; ok {
+		return f, nil
+	}
+	if near := nearestFormatName(name); near != "" {
+		return 0, fmt.Errorf("dict: unknown format %q (did you mean %q?)", name, near)
+	}
+	return 0, fmt.Errorf("dict: unknown format %q (registered formats: %s)",
+		name, strings.Join(RegisteredNames(), ", "))
+}
+
+// nearestFormatName returns the registered name closest to the input, or ""
+// when nothing is plausibly close.
+func nearestFormatName(name string) string {
+	norm := normalizeFormatName(name)
+	best, bestDist := "", 3 // suggest only within edit distance 2
+	for _, n := range RegisteredNames() {
+		if d := editDistance(norm, normalizeFormatName(n)); d < bestDist {
+			best, bestDist = n, d
 		}
 	}
-	return 0, fmt.Errorf("dict: unknown format %q", name)
+	return best
 }
 
-// AllFormats returns every format in declaration order.
+// editDistance is the Levenshtein distance; format names are short, so the
+// quadratic DP is fine.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// AllFormats returns every registered format in registration order.
 func AllFormats() []Format {
-	out := make([]Format, NumFormats)
+	out := make([]Format, NumFormats())
 	for i := range out {
 		out[i] = Format(i)
 	}
 	return out
 }
 
-// Scheme returns the string compression scheme a format applies.
+// Scheme returns the string compression scheme a format applies
+// (SchemeNone for formats with their own, self-contained coding).
 func (f Format) Scheme() Scheme {
-	switch f {
-	case ArrayBC, FCBlockBC:
-		return SchemeBC
-	case ArrayHU, FCBlockHU:
-		return SchemeHU
-	case ArrayNG2, FCBlockNG2:
-		return SchemeNG2
-	case ArrayNG3, FCBlockNG3:
-		return SchemeNG3
-	case ArrayRP12, FCBlockRP12:
-		return SchemeRP12
-	case ArrayRP16, FCBlockRP16:
-		return SchemeRP16
-	default:
-		return SchemeNone
+	if info, ok := formatInfo(f); ok {
+		return info.Scheme
 	}
+	return SchemeNone
 }
 
 // IsFrontCoded reports whether the format belongs to the front-coding class.
 func (f Format) IsFrontCoded() bool {
-	switch f {
-	case FCBlock, FCBlockBC, FCBlockDF, FCBlockHU, FCBlockNG2, FCBlockNG3,
-		FCBlockRP12, FCBlockRP16, FCInline:
-		return true
+	if info, ok := formatInfo(f); ok {
+		return info.FrontCoded
 	}
 	return false
 }
@@ -205,22 +228,11 @@ func BuildUncheckedWithOptions(f Format, strs []string, opts BuildOptions) Dicti
 }
 
 func build(f Format, strs []string, opts BuildOptions) (Dictionary, error) {
-	switch f {
-	case Array, ArrayBC, ArrayHU, ArrayNG2, ArrayNG3, ArrayRP12, ArrayRP16:
-		return newArrayDict(f, strs, opts), nil
-	case ArrayFixed:
-		return newArrayFixed(strs), nil
-	case FCBlock, FCBlockBC, FCBlockHU, FCBlockNG2, FCBlockNG3, FCBlockRP12, FCBlockRP16:
-		return newFCDict(f, fcModePrev, strs, DefaultFCBlockSize, opts), nil
-	case FCBlockDF:
-		return newFCDict(f, fcModeFirst, strs, DefaultFCBlockSize, opts), nil
-	case FCInline:
-		return newFCDict(f, fcModeInline, strs, DefaultFCBlockSize, opts), nil
-	case ColumnBC:
-		return newColumnBC(strs, DefaultColumnBCBlockSize), nil
-	default:
+	info, ok := formatInfo(f)
+	if !ok {
 		return nil, fmt.Errorf("dict: unknown format %d", int(f))
 	}
+	return info.Build(strs, opts), nil
 }
 
 // Validate checks the input contract of Build.
@@ -299,14 +311,9 @@ func BuildWithFCBlockSize(f Format, strs []string, blockSize int) (Dictionary, e
 	if blockSize < 2 {
 		return nil, fmt.Errorf("dict: front-coding block size %d too small", blockSize)
 	}
-	switch f {
-	case FCBlock, FCBlockBC, FCBlockHU, FCBlockNG2, FCBlockNG3, FCBlockRP12, FCBlockRP16:
-		return newFCDict(f, fcModePrev, strs, blockSize, BuildOptions{}), nil
-	case FCBlockDF:
-		return newFCDict(f, fcModeFirst, strs, blockSize, BuildOptions{}), nil
-	case FCInline:
-		return newFCDict(f, fcModeInline, strs, blockSize, BuildOptions{}), nil
-	default:
+	info, ok := formatInfo(f)
+	if !ok || info.BuildBlock == nil {
 		return nil, fmt.Errorf("dict: %s is not a front-coding format", f)
 	}
+	return info.BuildBlock(strs, blockSize, BuildOptions{}), nil
 }

@@ -50,7 +50,7 @@ func FuzzBuildRoundTrip(f *testing.F) {
 			}
 			// Serialization round trip on one format per input, chosen by
 			// the input's length so all formats get exercised over a corpus.
-			if int(format) == len(data)%NumFormats {
+			if int(format) == len(data)%NumFormats() {
 				blob, err := Marshal(d)
 				if err != nil {
 					t.Fatalf("%s: Marshal: %v", format, err)
@@ -77,7 +77,7 @@ func FuzzUnmarshal(f *testing.F) {
 		{"x"},
 		nil,
 	} {
-		for _, format := range []Format{Array, ArrayHU, ArrayRP12, FCBlock, FCBlockDF, FCInline, ColumnBC, ArrayFixed} {
+		for _, format := range AllFormats() {
 			d, _ := Build(format, strs)
 			blob, _ := Marshal(d)
 			f.Add(blob)

@@ -13,7 +13,7 @@ func TestAllFormatsAgree(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(77))}
 	check := func(raw []string, probes []string) bool {
 		strs := sortedUnique(raw)
-		dicts := make([]Dictionary, 0, NumFormats)
+		dicts := make([]Dictionary, 0, NumFormats())
 		for _, f := range AllFormats() {
 			d, err := Build(f, strs)
 			if err != nil {

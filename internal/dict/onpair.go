@@ -1,0 +1,305 @@
+package dict
+
+// The OnPair dictionary format: a greedy pair table in the style of
+// arXiv 2508.02280. Build runs a fixed number of rounds; each round counts
+// the frequency of every adjacent symbol pair across all strings, promotes
+// the most frequent pairs to fresh symbols, and rewrites the strings with a
+// single left-to-right replacement pass. The result is one flat, bit-packed
+// symbol stream with a packed offset per string: extraction reads one
+// contiguous symbol slice and expands each symbol through the pair table —
+// no block to decode, no neighbour reconstruction — which keeps random
+// access close to the plain array formats while the pair table absorbs the
+// corpus's repeated bigrams, trigrams and short substrings.
+//
+// This file is the format's complete registration: representation, build,
+// serialization, and the registry entry. Nothing outside this file (and the
+// matching size-model registration in internal/model) knows OnPair exists.
+
+import (
+	"sort"
+
+	"strdict/internal/bits"
+)
+
+const (
+	// onpairWireID is OnPair's immutable on-disk identifier. Deliberately
+	// not equal to the format's registry index: extensions start at 32,
+	// clear of the built-ins' 0–17 block.
+	onpairWireID = 32
+
+	// OnPairMaxPairs caps the pair table. 4096 pairs keep every symbol
+	// below 256+4096, so the packed stream never needs more than 13 bits
+	// per symbol and the table itself stays a few KiB. Exported for the
+	// size model's sampled-scaling clamp.
+	OnPairMaxPairs = 4096
+
+	// onpairRounds bounds the greedy promotion rounds. Each round can pair
+	// up symbols produced by the previous one, so r rounds capture
+	// substrings up to 2^r bytes.
+	onpairRounds = 12
+
+	// onpairMinFreq is the promotion threshold: a pair must occur at least
+	// this often to earn a table slot, or the slot costs more than it saves.
+	onpairMinFreq = 4
+)
+
+// OnPair is the pair-table dictionary format, registered as an extension.
+var OnPair = RegisterFormat(FormatInfo{
+	Name:   "onpair",
+	WireID: onpairWireID,
+	Scheme: SchemeNone,
+	Build: func(strs []string, _ BuildOptions) Dictionary {
+		return newOnPair(strs, OnPairMaxPairs)
+	},
+	Marshal:   marshalOnPair,
+	Unmarshal: unmarshalOnPair,
+})
+
+// onpairDict stores every string as a slice of one flat symbol stream.
+// Symbols below 256 are literal bytes; symbol 256+j expands to pair j.
+type onpairDict struct {
+	n       int
+	pairs   []uint32          // pair j = left<<16 | right, both < 256+j
+	syms    *bits.PackedArray // concatenated per-string symbol sequences
+	offsets *bits.PackedArray // n+1 entries: string i = syms[offsets[i]:offsets[i+1]]
+}
+
+func newOnPair(strs []string, maxPairs int) *onpairDict {
+	// Working form: one symbol slice per string, initially the raw bytes.
+	seqs := make([][]uint32, len(strs))
+	for i, s := range strs {
+		seq := make([]uint32, len(s))
+		for j := 0; j < len(s); j++ {
+			seq[j] = uint32(s[j])
+		}
+		seqs[i] = seq
+	}
+
+	var pairs []uint32
+	for round := 0; round < onpairRounds && len(pairs) < maxPairs; round++ {
+		freq := make(map[uint32]int)
+		for _, seq := range seqs {
+			for j := 0; j+1 < len(seq); j++ {
+				freq[seq[j]<<16|seq[j+1]]++
+			}
+		}
+		type cand struct {
+			key uint32
+			f   int
+		}
+		cands := make([]cand, 0, len(freq))
+		for k, f := range freq {
+			if f >= onpairMinFreq {
+				cands = append(cands, cand{k, f})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		// Deterministic order: frequency descending, then key, so the build
+		// is bit-identical run to run despite the map iteration above.
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].f != cands[b].f {
+				return cands[a].f > cands[b].f
+			}
+			return cands[a].key < cands[b].key
+		})
+		// Spread the table budget evenly over the remaining rounds instead of
+		// letting an early flood of barely-frequent pairs exhaust it: deep
+		// rounds are where long repeated substrings collapse, and reserving
+		// slots for them both compresses better and keeps the build's
+		// behaviour stable between a sample and the full column (which the
+		// size model relies on).
+		budget := (maxPairs - len(pairs)) / (onpairRounds - round)
+		if budget < 1 {
+			budget = 1
+		}
+		if len(cands) > budget {
+			cands = cands[:budget]
+		}
+		selected := make(map[uint32]uint32, len(cands))
+		for _, c := range cands {
+			selected[c.key] = uint32(256 + len(pairs))
+			pairs = append(pairs, c.key)
+		}
+		// One greedy left-to-right replacement pass per string. The write
+		// index never passes the read index, so rewriting in place is safe.
+		for i, seq := range seqs {
+			out := seq[:0]
+			for j := 0; j < len(seq); {
+				if j+1 < len(seq) {
+					if sym, ok := selected[seq[j]<<16|seq[j+1]]; ok {
+						out = append(out, sym)
+						j += 2
+						continue
+					}
+				}
+				out = append(out, seq[j])
+				j++
+			}
+			seqs[i] = out
+		}
+	}
+
+	var total int
+	for _, seq := range seqs {
+		total += len(seq)
+	}
+	flat := make([]uint64, total)
+	offs := make([]uint64, len(strs)+1)
+	pos := 0
+	for i, seq := range seqs {
+		offs[i] = uint64(pos)
+		for _, sym := range seq {
+			flat[pos] = uint64(sym)
+			pos++
+		}
+	}
+	offs[len(strs)] = uint64(pos)
+	return &onpairDict{
+		n:       len(strs),
+		pairs:   pairs,
+		syms:    bits.PackSlice(flat),
+		offsets: bits.PackSlice(offs),
+	}
+}
+
+// appendSymbol expands one symbol through the pair table. Iterative: follow
+// left children, stack the rights. Terminates because pair j only references
+// symbols below 256+j.
+func (d *onpairDict) appendSymbol(dst []byte, stack []uint32, sym uint32) ([]byte, []uint32) {
+	for {
+		for sym >= 256 {
+			p := d.pairs[sym-256]
+			stack = append(stack, p&0xffff)
+			sym = p >> 16
+		}
+		dst = append(dst, byte(sym))
+		if len(stack) == 0 {
+			return dst, stack
+		}
+		sym = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+	}
+}
+
+func (d *onpairDict) Extract(id uint32) string {
+	return string(d.AppendExtract(nil, id))
+}
+
+func (d *onpairDict) AppendExtract(dst []byte, id uint32) []byte {
+	lo := int(d.offsets.Get(int(id)))
+	hi := int(d.offsets.Get(int(id) + 1))
+	var stack []uint32
+	for i := lo; i < hi; i++ {
+		dst, stack = d.appendSymbol(dst, stack[:0], uint32(d.syms.Get(i)))
+	}
+	return dst
+}
+
+func (d *onpairDict) Locate(s string) (uint32, bool) {
+	return locateByExtract(d, d.n, s)
+}
+
+func (d *onpairDict) Len() int       { return d.n }
+func (d *onpairDict) Format() Format { return OnPair }
+
+func (d *onpairDict) Bytes() uint64 {
+	return 4*uint64(len(d.pairs)) + d.syms.Bytes() + d.offsets.Bytes() + arrayOverhead
+}
+
+func (d *onpairDict) ForEach(fn func(id uint32, value []byte) bool) {
+	var buf []byte
+	for id := 0; id < d.n; id++ {
+		buf = d.AppendExtract(buf[:0], uint32(id))
+		if !fn(uint32(id), buf) {
+			return
+		}
+	}
+}
+
+// OnPairStats builds the pair table over strs and reports the components
+// the size-prediction model needs: the number of pair-table entries, the
+// total number of encoded symbols, and the packed bit width of the symbol
+// stream. maxPairs <= 0 uses the real build's OnPairMaxPairs cap; the size
+// model passes a reduced cap on partial samples so the table cannot overfit
+// a small sample relative to its full-data budget. Sharing the real build
+// makes the model exact on a full sample.
+func OnPairStats(strs []string, maxPairs int) (pairs, symbols int, symWidth uint) {
+	if maxPairs <= 0 || maxPairs > OnPairMaxPairs {
+		maxPairs = OnPairMaxPairs
+	}
+	d := newOnPair(strs, maxPairs)
+	return len(d.pairs), d.syms.Len(), d.syms.Width()
+}
+
+func marshalOnPair(e *enc, dict Dictionary) error {
+	d, ok := dict.(*onpairDict)
+	if !ok {
+		return errWrongType(dict)
+	}
+	e.u64(uint64(d.n))
+	e.u64(uint64(len(d.pairs)))
+	for _, p := range d.pairs {
+		e.u32(p)
+	}
+	e.packed(d.syms)
+	e.packed(d.offsets)
+	return nil
+}
+
+func unmarshalOnPair(d *dec) (Dictionary, error) {
+	n := d.u64()
+	npairs := d.u64()
+	if d.err != nil || npairs > OnPairMaxPairs || n > 1<<40 {
+		return nil, ErrCorrupt
+	}
+	pairs := make([]uint32, npairs)
+	for j := range pairs {
+		pairs[j] = d.u32()
+	}
+	syms := d.packed()
+	offsets := d.packed()
+	if d.err != nil {
+		return nil, d.err
+	}
+	od := &onpairDict{n: int(n), pairs: pairs, syms: syms, offsets: offsets}
+	if err := od.validate(); err != nil {
+		return nil, err
+	}
+	return od, nil
+}
+
+// validate checks the structural invariants that make reads safe and
+// guarantee expansion terminates: the offsets are monotonic and cover the
+// symbol stream, every symbol is in range, and pair j only references
+// symbols below its own 256+j.
+func (d *onpairDict) validate() error {
+	maxSym := uint64(256 + len(d.pairs))
+	for j, p := range d.pairs {
+		limit := uint32(256 + j)
+		if p>>16 >= limit || p&0xffff >= limit {
+			return ErrCorrupt
+		}
+	}
+	if d.offsets.Len() != d.n+1 {
+		return ErrCorrupt
+	}
+	prev := uint64(0)
+	for i := 0; i <= d.n; i++ {
+		v := d.offsets.Get(i)
+		if v < prev || v > uint64(d.syms.Len()) {
+			return ErrCorrupt
+		}
+		prev = v
+	}
+	if prev != uint64(d.syms.Len()) || (d.n > 0 && d.offsets.Get(0) != 0) {
+		return ErrCorrupt
+	}
+	for i := 0; i < d.syms.Len(); i++ {
+		if d.syms.Get(i) >= maxSym {
+			return ErrCorrupt
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package dict
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWireIDStability pins every registered format's on-disk identity. Wire
+// IDs are immutable once shipped: the built-ins must keep the values of the
+// pre-registry format enum (or every old WAL, manifest and .sdic blob
+// misdecodes), and the extensions must keep their assigned slots.
+func TestWireIDStability(t *testing.T) {
+	want := map[Format]uint16{
+		Array:       0,
+		ArrayBC:     1,
+		ArrayHU:     2,
+		ArrayNG2:    3,
+		ArrayNG3:    4,
+		ArrayRP12:   5,
+		ArrayRP16:   6,
+		ArrayFixed:  7,
+		FCBlock:     8,
+		FCBlockBC:   9,
+		FCBlockDF:   10,
+		FCBlockHU:   11,
+		FCBlockNG2:  12,
+		FCBlockNG3:  13,
+		FCBlockRP12: 14,
+		FCBlockRP16: 15,
+		FCInline:    16,
+		ColumnBC:    17,
+		OnPair:      32,
+		LZ78:        33,
+	}
+	if len(want) != NumFormats() {
+		t.Fatalf("test covers %d formats, registry has %d", len(want), NumFormats())
+	}
+	for f, wire := range want {
+		if got := f.WireID(); got != wire {
+			t.Errorf("%v.WireID() = %d, want %d", f, got, wire)
+		}
+		back, ok := FormatByWireID(wire)
+		if !ok || back != f {
+			t.Errorf("FormatByWireID(%d) = (%v, %v), want %v", wire, back, ok, f)
+		}
+	}
+	if _, ok := FormatByWireID(999); ok {
+		t.Error("FormatByWireID accepted an unregistered wire ID")
+	}
+}
+
+// TestRegistryEnumeration checks that the registry enumerates exactly the
+// registered formats: dense indexes, unique normalized names, unique wire IDs.
+func TestRegistryEnumeration(t *testing.T) {
+	if NumFormats() != NumBuiltinFormats+2 {
+		t.Fatalf("NumFormats() = %d, want %d", NumFormats(), NumBuiltinFormats+2)
+	}
+	all := AllFormats()
+	if len(all) != NumFormats() {
+		t.Fatalf("AllFormats() has %d entries, want %d", len(all), NumFormats())
+	}
+	names := make(map[string]bool)
+	wires := make(map[uint16]bool)
+	for i, f := range all {
+		if int(f) != i {
+			t.Errorf("AllFormats()[%d] = %v", i, f)
+		}
+		n := normalizeFormatName(f.String())
+		if names[n] {
+			t.Errorf("duplicate format name %q", n)
+		}
+		names[n] = true
+		if wires[f.WireID()] {
+			t.Errorf("duplicate wire ID %d", f.WireID())
+		}
+		wires[f.WireID()] = true
+	}
+}
+
+// TestParseFormatRegistry exercises the registry-backed name parsing: exact
+// names, case/whitespace normalization, typo suggestions, and the full
+// listing for hopeless inputs.
+func TestParseFormatRegistry(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Format
+	}{
+		{"onpair", OnPair},
+		{"lz78", LZ78},
+		{"FC  Block RP 16", FCBlockRP16},
+		{" array \t bc ", ArrayBC},
+	} {
+		got, err := ParseFormat(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseFormat(%q) = (%v, %v), want %v", c.in, got, err, c.want)
+		}
+	}
+
+	_, err := ParseFormat("fc blck rp 16")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "fc block rp 16"`) {
+		t.Errorf("typo suggestion missing: %v", err)
+	}
+	_, err = ParseFormat("onpare")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "onpair"`) {
+		t.Errorf("typo suggestion missing: %v", err)
+	}
+	_, err = ParseFormat("definitely-not-a-format")
+	if err == nil || !strings.Contains(err.Error(), "registered formats:") ||
+		!strings.Contains(err.Error(), "onpair") {
+		t.Errorf("full listing missing: %v", err)
+	}
+}
+
+// TestRegisterFormatValidation pins the registration-time panics that keep
+// the registry consistent.
+func TestRegisterFormatValidation(t *testing.T) {
+	mustPanic := func(name string, info FormatInfo) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RegisterFormat did not panic", name)
+			}
+		}()
+		RegisterFormat(info)
+	}
+	ok := FormatInfo{
+		Name:      "test-dup",
+		WireID:    9999,
+		Build:     func([]string, BuildOptions) Dictionary { return nil },
+		Marshal:   func(*enc, Dictionary) error { return nil },
+		Unmarshal: func(*dec) (Dictionary, error) { return nil, nil },
+	}
+	dupName := ok
+	dupName.Name = "array"
+	mustPanic("duplicate name", dupName)
+	dupWire := ok
+	dupWire.WireID = OnPair.WireID()
+	mustPanic("duplicate wire ID", dupWire)
+	noBuild := ok
+	noBuild.Build = nil
+	mustPanic("missing builder", noBuild)
+	noCodec := ok
+	noCodec.Marshal = nil
+	mustPanic("missing marshal", noCodec)
+}

@@ -9,14 +9,18 @@ package dict
 // Layout (little-endian):
 //
 //	magic   [4]byte "SDIC"
-//	version u8 (currently 2)
-//	format  u8
-//	payload format-specific sections (see marshal* below)
+//	version u8 (currently 3)
+//	format  uvarint wire ID (version 3; a single u8 in versions 1 and 2)
+//	payload format-specific sections (each format's registry descriptor)
 //	crc     u32 CRC32C over everything before it (version >= 2)
 //
 // Version 2 added the footer checksum so corrupt dictionary bytes fail fast
-// with ErrCorrupt instead of relying on structural validation alone;
-// Unmarshal still accepts version-1 blobs (no footer).
+// with ErrCorrupt instead of relying on structural validation alone.
+// Version 3 replaced the single-byte format enum with the registry's
+// unsigned-varint wire ID, lifting the 256-format ceiling; built-in formats
+// keep wire IDs 0–17 (one varint byte, identical to the old enum values), so
+// version-1 and version-2 blobs decode through the same wire table.
+// Unmarshal accepts all three versions; unknown wire IDs are ErrCorrupt.
 
 import (
 	"encoding/binary"
@@ -34,7 +38,7 @@ import (
 
 var magic = [4]byte{'S', 'D', 'I', 'C'}
 
-const serialVersion = 2
+const serialVersion = 3
 
 // crcTable is the Castagnoli polynomial (CRC32C) — hardware-accelerated on
 // amd64/arm64, and the same polynomial the persist subsystem uses for WAL
@@ -56,6 +60,10 @@ func (e *enc) bytes(b []byte) {
 }
 func (e *enc) packed(p *bits.PackedArray) {
 	e.buf = p.AppendBinary(e.buf)
+}
+
+func (e *enc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
 }
 
 // dec is the matching reader; all methods keep err sticky.
@@ -112,6 +120,19 @@ func (d *dec) bytes() []byte {
 	return b
 }
 
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
 func (d *dec) packed() *bits.PackedArray {
 	if d.err != nil {
 		return nil
@@ -125,42 +146,77 @@ func (d *dec) packed() *bits.PackedArray {
 	return p
 }
 
-// Marshal serializes a dictionary built by this package.
+// Marshal serializes a dictionary built by this package, dispatching the
+// payload to the format's registered serializer.
 func Marshal(dict Dictionary) ([]byte, error) {
+	info, ok := formatInfo(dict.Format())
+	if !ok {
+		return nil, fmt.Errorf("dict: cannot marshal unregistered format %d", int(dict.Format()))
+	}
 	e := &enc{}
 	e.buf = append(e.buf, magic[:]...)
 	e.u8(serialVersion)
-	e.u8(uint8(dict.Format()))
-	switch d := dict.(type) {
-	case *arrayDict:
-		e.u64(uint64(d.n))
-		e.bytes(d.data)
-		e.packed(d.offsets)
-		if err := marshalCodec(e, d.c); err != nil {
-			return nil, err
-		}
-	case *arrayFixed:
-		e.u64(uint64(d.n))
-		e.u64(uint64(d.slot))
-		e.bytes(d.data)
-	case *fcDict:
-		e.u64(uint64(d.n))
-		e.u32(uint32(d.blockSize))
-		e.bytes(d.data)
-		e.packed(d.blockPtrs)
-		if err := marshalCodec(e, d.c); err != nil {
-			return nil, err
-		}
-	case *columnBC:
-		e.u64(uint64(d.n))
-		e.u32(uint32(d.blockSize))
-		e.bytes(d.data)
-		e.packed(d.blockPtrs)
-	default:
-		return nil, fmt.Errorf("dict: cannot marshal %T", dict)
+	e.uvarint(uint64(info.WireID))
+	if err := info.Marshal(e, dict); err != nil {
+		return nil, err
 	}
 	e.u32(crc32.Checksum(e.buf, crcTable))
 	return e.buf, nil
+}
+
+// Per-class payload serializers, referenced by the built-in registry
+// descriptors.
+
+// errWrongType reports a dictionary handed to a serializer for a format it
+// was not built by — a registration bug, not corrupt input.
+func errWrongType(dict Dictionary) error {
+	return fmt.Errorf("dict: cannot marshal %T as %s", dict, dict.Format())
+}
+
+func marshalArray(e *enc, dict Dictionary) error {
+	d, ok := dict.(*arrayDict)
+	if !ok {
+		return errWrongType(dict)
+	}
+	e.u64(uint64(d.n))
+	e.bytes(d.data)
+	e.packed(d.offsets)
+	return marshalCodec(e, d.c)
+}
+
+func marshalArrayFixed(e *enc, dict Dictionary) error {
+	d, ok := dict.(*arrayFixed)
+	if !ok {
+		return fmt.Errorf("dict: cannot marshal %T as %s", dict, dict.Format())
+	}
+	e.u64(uint64(d.n))
+	e.u64(uint64(d.slot))
+	e.bytes(d.data)
+	return nil
+}
+
+func marshalFC(e *enc, dict Dictionary) error {
+	d, ok := dict.(*fcDict)
+	if !ok {
+		return fmt.Errorf("dict: cannot marshal %T as %s", dict, dict.Format())
+	}
+	e.u64(uint64(d.n))
+	e.u32(uint32(d.blockSize))
+	e.bytes(d.data)
+	e.packed(d.blockPtrs)
+	return marshalCodec(e, d.c)
+}
+
+func marshalColumnBC(e *enc, dict Dictionary) error {
+	d, ok := dict.(*columnBC)
+	if !ok {
+		return fmt.Errorf("dict: cannot marshal %T as %s", dict, dict.Format())
+	}
+	e.u64(uint64(d.n))
+	e.u32(uint32(d.blockSize))
+	e.bytes(d.data)
+	e.packed(d.blockPtrs)
+	return nil
 }
 
 func marshalCodec(e *enc, c codec) error {
@@ -272,17 +328,21 @@ func unmarshalCodec(d *dec, s Scheme, orderPreserving bool) (codec, error) {
 
 // Unmarshal reconstructs a dictionary serialized by Marshal, validating the
 // structural invariants (monotonic offsets, block geometry) so that reads
-// on the result cannot index out of bounds.
+// on the result cannot index out of bounds. It accepts all serialization
+// versions; the wire ID is resolved through the format registry, so blobs
+// written before the registry existed (single-byte format enum, equal to
+// the built-ins' wire IDs) load unchanged.
 func Unmarshal(data []byte) (Dictionary, error) {
 	var m [4]byte
 	copy(m[:], data)
 	if len(data) < 6 || m != magic {
 		return nil, ErrCorrupt
 	}
-	switch v := data[4]; v {
+	version := data[4]
+	switch version {
 	case 1:
 		// Legacy blobs carry no footer; structural validation only.
-	case 2:
+	case 2, 3:
 		// Verify the CRC32C footer before touching the payload, so corrupt
 		// bytes fail fast instead of decoding garbage.
 		if len(data) < 10 {
@@ -295,96 +355,106 @@ func Unmarshal(data []byte) (Dictionary, error) {
 		}
 		data = body
 	default:
-		return nil, fmt.Errorf("dict: unsupported serialization version %d", v)
+		return nil, fmt.Errorf("dict: unsupported serialization version %d", version)
 	}
-	d := &dec{buf: data, off: 6}
-	f := Format(data[5])
-	if int(f) >= NumFormats {
+	d := &dec{buf: data, off: 5}
+	var wire uint16
+	if version < 3 {
+		wire = uint16(d.u8())
+	} else {
+		w := d.uvarint()
+		if d.err != nil || w > 1<<16-1 {
+			return nil, ErrCorrupt
+		}
+		wire = uint16(w)
+	}
+	f, ok := FormatByWireID(wire)
+	if !ok {
 		return nil, ErrCorrupt
 	}
+	info, _ := formatInfo(f)
+	return info.Unmarshal(d)
+}
 
-	switch {
-	case f == ArrayFixed:
-		n := d.u64()
-		slot := d.u64()
-		payload := d.bytes()
-		if d.err != nil {
-			return nil, d.err
-		}
-		// Bound both factors before multiplying so the product cannot wrap.
-		if n > 1<<40 || slot > 1<<30 {
-			return nil, ErrCorrupt
-		}
-		if slot == 0 {
-			// A zero slot means every string is empty; unique input allows
-			// at most one such string.
-			if n > 1 || len(payload) != 0 {
-				return nil, ErrCorrupt
-			}
-		} else if n*slot != uint64(len(payload)) {
-			return nil, ErrCorrupt
-		}
-		return &arrayFixed{n: int(n), slot: int(slot), data: payload}, nil
+// Per-class payload deserializers. Each parses the sections its marshal
+// counterpart wrote and validates the structural invariants.
 
-	case f == ColumnBC:
-		n := d.u64()
-		blockSize := d.u32()
-		payload := d.bytes()
-		ptrs := d.packed()
-		if d.err != nil {
-			return nil, d.err
-		}
-		cbc := &columnBC{n: int(n), blockSize: int(blockSize), data: payload, blockPtrs: ptrs}
-		if err := cbc.validate(); err != nil {
-			return nil, err
-		}
-		return cbc, nil
-
-	case f.IsFrontCoded():
-		n := d.u64()
-		blockSize := d.u32()
-		payload := d.bytes()
-		ptrs := d.packed()
-		if d.err != nil {
-			return nil, d.err
-		}
-		c, err := unmarshalCodec(d, f.Scheme(), false)
-		if err != nil {
-			return nil, err
-		}
-		mode := fcModePrev
-		switch f {
-		case FCBlockDF:
-			mode = fcModeFirst
-		case FCInline:
-			mode = fcModeInline
-		}
-		fd := &fcDict{
-			format: f, mode: mode, blockSize: int(blockSize),
-			n: int(n), data: payload, blockPtrs: ptrs, c: c,
-		}
-		if err := fd.validate(); err != nil {
-			return nil, err
-		}
-		return fd, nil
-
-	default: // array class
-		n := d.u64()
-		payload := d.bytes()
-		offsets := d.packed()
-		if d.err != nil {
-			return nil, d.err
-		}
-		c, err := unmarshalCodec(d, f.Scheme(), true)
-		if err != nil {
-			return nil, err
-		}
-		ad := &arrayDict{format: f, n: int(n), data: payload, offsets: offsets, c: c}
-		if err := ad.validate(); err != nil {
-			return nil, err
-		}
-		return ad, nil
+func unmarshalArray(d *dec, f Format, sc Scheme) (Dictionary, error) {
+	n := d.u64()
+	payload := d.bytes()
+	offsets := d.packed()
+	if d.err != nil {
+		return nil, d.err
 	}
+	c, err := unmarshalCodec(d, sc, true)
+	if err != nil {
+		return nil, err
+	}
+	ad := &arrayDict{format: f, n: int(n), data: payload, offsets: offsets, c: c}
+	if err := ad.validate(); err != nil {
+		return nil, err
+	}
+	return ad, nil
+}
+
+func unmarshalArrayFixed(d *dec) (Dictionary, error) {
+	n := d.u64()
+	slot := d.u64()
+	payload := d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Bound both factors before multiplying so the product cannot wrap.
+	if n > 1<<40 || slot > 1<<30 {
+		return nil, ErrCorrupt
+	}
+	if slot == 0 {
+		// A zero slot means every string is empty; unique input allows
+		// at most one such string.
+		if n > 1 || len(payload) != 0 {
+			return nil, ErrCorrupt
+		}
+	} else if n*slot != uint64(len(payload)) {
+		return nil, ErrCorrupt
+	}
+	return &arrayFixed{n: int(n), slot: int(slot), data: payload}, nil
+}
+
+func unmarshalFC(d *dec, f Format, sc Scheme, mode fcMode) (Dictionary, error) {
+	n := d.u64()
+	blockSize := d.u32()
+	payload := d.bytes()
+	ptrs := d.packed()
+	if d.err != nil {
+		return nil, d.err
+	}
+	c, err := unmarshalCodec(d, sc, false)
+	if err != nil {
+		return nil, err
+	}
+	fd := &fcDict{
+		format: f, mode: mode, blockSize: int(blockSize),
+		n: int(n), data: payload, blockPtrs: ptrs, c: c,
+	}
+	if err := fd.validate(); err != nil {
+		return nil, err
+	}
+	return fd, nil
+}
+
+func unmarshalColumnBC(d *dec) (Dictionary, error) {
+	n := d.u64()
+	blockSize := d.u32()
+	payload := d.bytes()
+	ptrs := d.packed()
+	if d.err != nil {
+		return nil, d.err
+	}
+	cbc := &columnBC{n: int(n), blockSize: int(blockSize), data: payload, blockPtrs: ptrs}
+	if err := cbc.validate(); err != nil {
+		return nil, err
+	}
+	return cbc, nil
 }
 
 // validate checks arrayDict structural invariants after deserialization.

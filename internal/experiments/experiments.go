@@ -49,7 +49,7 @@ type SurveyRow struct {
 // Survey builds every format on the corpus and measures compression rate
 // (Definition 2) and random-extract runtime.
 func Survey(strs []string, extractOps int, seed int64) []SurveyRow {
-	rows := make([]SurveyRow, 0, dict.NumFormats)
+	rows := make([]SurveyRow, 0, dict.NumFormats())
 	for _, f := range dict.AllFormats() {
 		d := dict.BuildUnchecked(f, strs)
 		rows = append(rows, SurveyRow{
@@ -83,8 +83,8 @@ func Figures1And2(w io.Writer, seed int64) {
 	}
 }
 
-// Figure3 prints the compression-rate / extract-runtime trade-off of all 18
-// variants on the src data set.
+// Figure3 prints the compression-rate / extract-runtime trade-off of every
+// registered variant on the src data set.
 func Figure3(w io.Writer, n int, seed int64) {
 	strs := datagen.Generate("src", n, seed)
 	fmt.Fprintf(w, "Figure 3: trade-off on the src data set (%d strings)\n", len(strs))

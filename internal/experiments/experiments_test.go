@@ -10,7 +10,7 @@ import (
 
 func TestSurveyCoversAllFormats(t *testing.T) {
 	rows := Survey([]string{"aa", "bb", "cc"}, 100, 1)
-	if len(rows) != dict.NumFormats {
+	if len(rows) != dict.NumFormats() {
 		t.Fatalf("%d rows", len(rows))
 	}
 	for _, r := range rows {
@@ -110,7 +110,7 @@ func TestTPCHExperimentEndToEnd(t *testing.T) {
 		SampleRatio: 1.0,
 	})
 	fixed, driven := Figure10(&buf, e)
-	if len(fixed) != dict.NumFormats || len(driven) != 3 {
+	if len(fixed) != dict.NumFormats() || len(driven) != 3 {
 		t.Fatalf("points: %d fixed, %d driven", len(fixed), len(driven))
 	}
 	// The c sweep must move memory monotonically-ish: smallest c gives the

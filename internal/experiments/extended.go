@@ -27,7 +27,7 @@ type FullSurveyRow struct {
 // one corpus.
 func FullSurvey(strs []string, ops int, seed int64) []FullSurveyRow {
 	rng := rand.New(rand.NewSource(seed))
-	rows := make([]FullSurveyRow, 0, dict.NumFormats)
+	rows := make([]FullSurveyRow, 0, dict.NumFormats())
 	for _, f := range dict.AllFormats() {
 		start := time.Now()
 		d := dict.BuildUnchecked(f, strs)

@@ -16,7 +16,7 @@ import (
 func surveyOn(t *testing.T, corpus string, n int) map[dict.Format]SurveyRow {
 	t.Helper()
 	strs := datagen.Generate(corpus, n, 1)
-	out := make(map[dict.Format]SurveyRow, dict.NumFormats)
+	out := make(map[dict.Format]SurveyRow, dict.NumFormats())
 	for _, r := range Survey(strs, 4000, 1) {
 		out[r.Format] = r
 	}

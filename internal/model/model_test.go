@@ -108,7 +108,7 @@ func TestSampleSizeRespectsRatio(t *testing.T) {
 func TestEstimateAllCoversFormats(t *testing.T) {
 	strs := datagen.Generate("mat", 3000, 1)
 	m := EstimateAll(TakeSample(strs, 1.0, 1))
-	if len(m) != dict.NumFormats {
+	if len(m) != dict.NumFormats() {
 		t.Fatalf("EstimateAll returned %d entries", len(m))
 	}
 	for f, v := range m {

@@ -1,0 +1,57 @@
+package model
+
+// The model side of the format registry. The built-in formats share the
+// trait-driven models in size.go (array vs front-coded vs fixed vs
+// column-bc), so they need no per-format entries here; extension formats
+// register a size model and default runtime costs from their registration
+// file, and EstimateSize / DefaultCostTable consult these maps first.
+// Calibrate needs no hook at all — it measures real builds over
+// dict.AllFormats(), so any registered format is calibrated automatically.
+
+import (
+	"fmt"
+
+	"strdict/internal/dict"
+)
+
+var (
+	sizeModels = map[dict.Format]func(*Sample) uint64{}
+	extraCosts = map[dict.Format]Costs{}
+)
+
+// RegisterSizeModel installs the size-prediction hook for a format, meant to
+// be called from a package-level initializer in the format's model
+// registration file. It returns f so it can seed a blank identifier var.
+// Duplicate registration panics: two models for one format is a bug.
+func RegisterSizeModel(f dict.Format, fn func(*Sample) uint64) dict.Format {
+	if _, dup := sizeModels[f]; dup {
+		panic(fmt.Sprintf("model: size model for %s registered twice", f))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("model: nil size model for %s", f))
+	}
+	sizeModels[f] = fn
+	return f
+}
+
+// RegisterDefaultCosts installs the format's uncalibrated runtime constants,
+// merged into DefaultCostTable alongside the built-ins' measured values.
+func RegisterDefaultCosts(f dict.Format, c Costs) dict.Format {
+	if _, dup := extraCosts[f]; dup {
+		panic(fmt.Sprintf("model: default costs for %s registered twice", f))
+	}
+	extraCosts[f] = c
+	return f
+}
+
+// HasSizeModel reports whether EstimateSize can price the format: built-ins
+// use the shared trait-driven models, extensions need a registered hook.
+// The registry-completeness check fails the build when this is false for a
+// registered format.
+func HasSizeModel(f dict.Format) bool {
+	if int(f) < dict.NumBuiltinFormats {
+		return true
+	}
+	_, ok := sizeModels[f]
+	return ok
+}

@@ -1,0 +1,43 @@
+package model
+
+import (
+	"testing"
+
+	"strdict/internal/datagen"
+	"strdict/internal/dict"
+)
+
+// TestRegistryCompleteness is the registry-completeness gate run by
+// scripts/check.sh: every registered dictionary format must be fully wired
+// into the prediction framework — a size model and a default cost-table
+// entry — or the compression manager would silently mis-rank it. (The dict
+// package's own invariants and fuzz suites enforce the codec side by
+// iterating AllFormats the same way.)
+func TestRegistryCompleteness(t *testing.T) {
+	table := DefaultCostTable()
+	for _, f := range dict.AllFormats() {
+		if !HasSizeModel(f) {
+			t.Errorf("format %v has no size model (RegisterSizeModel missing)", f)
+		}
+		if !table.Has(f) {
+			t.Errorf("format %v has no default costs (RegisterDefaultCosts missing)", f)
+		}
+		c := table.Of(f)
+		if c.ExtractNs <= 0 || c.LocateNs <= 0 || c.ConstructNs <= 0 {
+			t.Errorf("format %v has non-positive default costs %+v", f, c)
+		}
+	}
+
+	// EstimateAll must price every registered format on a real sample.
+	strs := datagen.Generate("engl", 2000, 11)
+	s := TakeSample(strs, 1.0, 1)
+	sizes := EstimateAll(s)
+	if len(sizes) != dict.NumFormats() {
+		t.Fatalf("EstimateAll returned %d entries, want %d", len(sizes), dict.NumFormats())
+	}
+	for _, f := range dict.AllFormats() {
+		if sizes[f] == 0 {
+			t.Errorf("EstimateAll priced format %v at zero", f)
+		}
+	}
+}

@@ -17,18 +17,43 @@ type Costs struct {
 	ConstructNs float64 // ns per string during construction
 }
 
-// CostTable maps every format to its runtime constants.
-type CostTable [dict.NumFormats]Costs
+// CostTable maps every registered format to its runtime constants. It is
+// registry-keyed — formats registered after the table was built simply read
+// as zero until Set or a fresh Calibrate — so extension formats need no
+// resizing of any fixed array.
+type CostTable struct {
+	costs map[dict.Format]Costs
+}
 
-// Of returns the constants of a format.
-func (t *CostTable) Of(f dict.Format) Costs { return t[f] }
+// NewCostTable returns an empty table.
+func NewCostTable() *CostTable {
+	return &CostTable{costs: make(map[dict.Format]Costs, dict.NumFormats())}
+}
+
+// Of returns the constants of a format (zero if the format has no entry).
+func (t *CostTable) Of(f dict.Format) Costs { return t.costs[f] }
+
+// Set installs the constants of a format.
+func (t *CostTable) Set(f dict.Format, c Costs) {
+	if t.costs == nil {
+		t.costs = make(map[dict.Format]Costs, dict.NumFormats())
+	}
+	t.costs[f] = c
+}
+
+// Has reports whether the table carries an entry for the format; the
+// registry-completeness check uses it to catch formats nobody priced.
+func (t *CostTable) Has(f dict.Format) bool {
+	_, ok := t.costs[f]
+	return ok
+}
 
 // TimeNs computes the total time (ns) a dictionary instance of format f
 // spends in its three methods over its lifetime, per Section 5.2:
 //
 //	time(d) = #extracts·t_e(d) + #locates·t_l(d) + #strings·t_c(d)
 func (t *CostTable) TimeNs(f dict.Format, extracts, locates, numStrings uint64) float64 {
-	c := t[f]
+	c := t.costs[f]
 	return float64(extracts)*c.ExtractNs +
 		float64(locates)*c.LocateNs +
 		float64(numStrings)*c.ConstructNs
@@ -41,7 +66,7 @@ func (t *CostTable) TimeNs(f dict.Format, extracts, locates, numStrings uint64) 
 // Corpora should be sorted unique string sets of a few thousand entries;
 // pass datagen corpora for the paper's setup.
 func Calibrate(corpora [][]string) *CostTable {
-	var table CostTable
+	table := NewCostTable()
 	if len(corpora) == 0 {
 		return DefaultCostTable()
 	}
@@ -55,9 +80,9 @@ func Calibrate(corpora [][]string) *CostTable {
 			con += c
 		}
 		n := float64(len(corpora))
-		table[f] = Costs{ExtractNs: ext / n, LocateNs: loc / n, ConstructNs: con / n}
+		table.Set(f, Costs{ExtractNs: ext / n, LocateNs: loc / n, ConstructNs: con / n})
 	}
-	return &table
+	return table
 }
 
 func measureFormat(f dict.Format, strs []string, rng *rand.Rand) (extractNs, locateNs, constructNs float64) {
@@ -110,8 +135,8 @@ func measureFormat(f dict.Format, strs []string, rng *rand.Rand) (extractNs, loc
 // front coding pays a block-walk on top) and are good enough for format
 // selection when running Calibrate at start-up is not wanted.
 func DefaultCostTable() *CostTable {
-	var t CostTable
-	set := func(f dict.Format, e, l, c float64) { t[f] = Costs{e, l, c} }
+	t := NewCostTable()
+	set := func(f dict.Format, e, l, c float64) { t.Set(f, Costs{e, l, c}) }
 	// format, extract ns, locate ns, construct ns/string — output of
 	// `dictbench -figure calibrate` on the reference machine.
 	set(dict.Array, 28, 435, 126)
@@ -132,5 +157,9 @@ func DefaultCostTable() *CostTable {
 	set(dict.FCBlockRP16, 1391, 8052, 3626)
 	set(dict.FCInline, 159, 1357, 116)
 	set(dict.ColumnBC, 278, 4056, 471)
-	return &t
+	// Extension formats contribute their own defaults at registration.
+	for f, c := range extraCosts {
+		t.Set(f, c)
+	}
+	return t
 }

@@ -23,6 +23,11 @@ import (
 // block size) and evaluate closed formulas over them; no encoded data is
 // materialized.
 func EstimateSize(f dict.Format, s *Sample) uint64 {
+	// Registered per-format models (extension formats) take precedence; the
+	// built-ins share the trait-driven models below.
+	if fn, ok := sizeModels[f]; ok {
+		return fn(s)
+	}
 	var size float64
 	switch {
 	case f == dict.ArrayFixed:
@@ -53,7 +58,7 @@ func EstimateSize(f dict.Format, s *Sample) uint64 {
 
 // EstimateAll runs every format's model on one sample.
 func EstimateAll(s *Sample) map[dict.Format]uint64 {
-	out := make(map[dict.Format]uint64, dict.NumFormats)
+	out := make(map[dict.Format]uint64, dict.NumFormats())
 	for _, f := range dict.AllFormats() {
 		out[f] = EstimateSize(f, s)
 	}

@@ -11,8 +11,15 @@ package persist
 //	  float  body = rows × u64 (IEEE 754 bits, little endian)
 //
 //	manifest "SMAN" | version u8 | seq u64 | ncols u32 | entries | crc u32
-//	  entry  id u32 | kind u8 | format u8 | rows u64 |
+//	  entry  id u32 | kind u8 | format u16 | rows u64 |
 //	         table str16 | column str16 | file str16
+//
+// A string column's format field is the dictionary format's registry wire
+// ID. Manifest version 1 stored it as a single byte (the pre-registry
+// format enum, equal to the built-ins' wire IDs); version 2 widened it to
+// u16 for registered extensions. Both versions decode through the registry;
+// an unknown wire ID is ErrCorrupt, which makes recovery fall back to the
+// previous manifest instead of mis-decoding the column.
 //
 // Both checksums are CRC32C over every preceding byte. Files are written to
 // a .tmp name, fsynced, renamed into place and the directory fsynced, so a
@@ -39,7 +46,7 @@ const (
 	partVersion = 1
 
 	manifestMagic   = "SMAN"
-	manifestVersion = 1
+	manifestVersion = 2
 
 	// Part kinds (column types).
 	partStr   = 0
@@ -246,7 +253,12 @@ func encManifest(seq uint64, cols []manifestCol) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cols)))
 	for _, c := range cols {
 		buf = binary.LittleEndian.AppendUint32(buf, c.id)
-		buf = append(buf, c.kind, uint8(c.format))
+		buf = append(buf, c.kind)
+		var wire uint16
+		if c.kind == partStr {
+			wire = c.format.WireID()
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, wire)
 		buf = binary.LittleEndian.AppendUint64(buf, c.rows)
 		buf = appendStr16(buf, c.table)
 		buf = appendStr16(buf, c.column)
@@ -263,8 +275,9 @@ func decManifest(b []byte) (seq uint64, cols []manifestCol, err error) {
 	if crc32.Checksum(b[:len(b)-4], crcTable) != sum {
 		return 0, nil, ErrCorrupt
 	}
-	if b[4] != manifestVersion {
-		return 0, nil, fmt.Errorf("persist: unsupported manifest version %d", b[4])
+	version := b[4]
+	if version != 1 && version != manifestVersion {
+		return 0, nil, fmt.Errorf("persist: unsupported manifest version %d", version)
 	}
 	seq = binary.LittleEndian.Uint64(b[5:])
 	n := int(binary.LittleEndian.Uint32(b[13:]))
@@ -273,18 +286,37 @@ func decManifest(b []byte) (seq uint64, cols []manifestCol, err error) {
 	}
 	body := b[:len(b)-4]
 	off := 17
+	// Fixed prefix of an entry before the str16 fields: version 1 carried a
+	// single-byte format, version 2 a u16 wire ID.
+	prefix := 15
+	if version == 1 {
+		prefix = 14
+	}
 	cols = make([]manifestCol, 0, n)
 	for i := 0; i < n; i++ {
-		if off+14 > len(body) {
+		if off+prefix > len(body) {
 			return 0, nil, ErrCorrupt
 		}
 		c := manifestCol{
-			id:     binary.LittleEndian.Uint32(body[off:]),
-			kind:   body[off+4],
-			format: dict.Format(body[off+5]),
-			rows:   binary.LittleEndian.Uint64(body[off+6:]),
+			id:   binary.LittleEndian.Uint32(body[off:]),
+			kind: body[off+4],
 		}
-		off += 14
+		var wire uint16
+		if version == 1 {
+			wire = uint16(body[off+5])
+			c.rows = binary.LittleEndian.Uint64(body[off+6:])
+		} else {
+			wire = binary.LittleEndian.Uint16(body[off+5:])
+			c.rows = binary.LittleEndian.Uint64(body[off+7:])
+		}
+		if c.kind == partStr {
+			f, ok := dict.FormatByWireID(wire)
+			if !ok {
+				return 0, nil, ErrCorrupt
+			}
+			c.format = f
+		}
+		off += prefix
 		if c.table, off, err = readStr16(body, off); err != nil {
 			return 0, nil, err
 		}

@@ -1,0 +1,132 @@
+package persist
+
+// Cross-version recovery compatibility. testdata/golden-store-v1 is a frozen
+// pre-registry store directory: manifest version 1 (single-byte format
+// field), legacy ddlStr WAL records, and serialization-v2 dictionary blobs
+// inside the part files. It was produced by crashing a store that had
+// checkpointed 13 rows into each of 18 string columns (one per built-in
+// format, column cNN using format NN) and then appended 2 more rows to each,
+// so recovery exercises the manifest, the part files and WAL replay in their
+// old encodings. Never regenerate the fixture — its value is that current
+// code did not write it.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strdict/internal/dict"
+)
+
+// copyGoldenStore clones the frozen fixture into a temp dir so recovery's
+// side effects (WAL continuation, new manifests) cannot touch it.
+func copyGoldenStore(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join("testdata", "golden-store-v1")
+	dir := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("golden store fixture: %v", err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestGoldenStoreV1Recovers(t *testing.T) {
+	wantRows := []string{
+		"air", "airline", "airplane", "airport", "delta", "deluxe",
+		"value-1", "value-2", "zebra", "zulu", "MOD4", "SHIP", "RAIL",
+		"tail-row-1", "tail-row-2",
+	}
+	const ckptRows = 13 // rows covered by the v1 manifest; the rest replay
+
+	dir := copyGoldenStore(t)
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open golden store: %v", err)
+	}
+	defer s.Close()
+
+	info := s.Recovery()
+	if !info.ManifestLoaded || info.ManifestFallbacks != 0 {
+		t.Fatalf("manifest not cleanly loaded: %+v", info)
+	}
+	if info.LostRows != 0 || len(info.Quarantined) != 0 {
+		t.Fatalf("golden store lost data: %+v", info)
+	}
+	if want := uint64(ckptRows * dict.NumBuiltinFormats); info.CheckpointRows != want {
+		t.Errorf("CheckpointRows = %d, want %d", info.CheckpointRows, want)
+	}
+	if want := uint64((len(wantRows) - ckptRows) * dict.NumBuiltinFormats); info.ReplayedRows != want {
+		t.Errorf("ReplayedRows = %d, want %d", info.ReplayedRows, want)
+	}
+
+	tb := s.Table("t")
+	if tb == nil {
+		t.Fatal("table t missing after recovery")
+	}
+	cols := tb.StringColumns()
+	if len(cols) != dict.NumBuiltinFormats {
+		t.Fatalf("recovered %d string columns, want %d", len(cols), dict.NumBuiltinFormats)
+	}
+	for i, f := range dict.AllFormats()[:dict.NumBuiltinFormats] {
+		name := "t." + colName(i)
+		c := tb.Str(colName(i))
+		if c == nil {
+			t.Errorf("column %s missing", name)
+			continue
+		}
+		if c.Format() != f {
+			t.Errorf("%s: format = %v, want %v (wire ID must survive the v1 manifest)", name, c.Format(), f)
+		}
+		if c.Len() != len(wantRows) {
+			t.Errorf("%s: %d rows, want %d", name, c.Len(), len(wantRows))
+			continue
+		}
+		for r, want := range wantRows {
+			if got := c.Get(r); got != want {
+				t.Errorf("%s: row %d = %q, want %q", name, r, got, want)
+				break
+			}
+		}
+	}
+
+	// A checkpoint after recovery rewrites everything in the current
+	// encodings; reopening must serve the same rows.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after recovery: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after upgrade checkpoint: %v", err)
+	}
+	defer s2.Close()
+	tb2 := s2.Table("t")
+	for i, f := range dict.AllFormats()[:dict.NumBuiltinFormats] {
+		c := tb2.Str(colName(i))
+		if c == nil || c.Len() != len(wantRows) || c.Format() != f {
+			t.Fatalf("column %s did not survive the upgrade round-trip", colName(i))
+		}
+		for r, want := range wantRows {
+			if got := c.Get(r); got != want {
+				t.Errorf("upgraded %s: row %d = %q, want %q", colName(i), r, got, want)
+				break
+			}
+		}
+	}
+}
+
+func colName(i int) string {
+	return "c" + string([]byte{'0' + byte(i/10), '0' + byte(i%10)})
+}

@@ -84,15 +84,17 @@ func (j *journal) addColumnLocked(kind uint8, format dict.Format, table, column 
 	j.byName[name] = st
 	j.byID[st.id] = st
 	var rec byte
+	var wire uint16
 	switch kind {
 	case partStr:
-		rec = recDDLString
+		rec = recDDLString2
+		wire = format.WireID()
 	case partInt:
 		rec = recDDLInt
 	default:
 		rec = recDDLFloat
 	}
-	j.w.append(encDDLColumn(rec, st.id, uint8(format), table, column), false, 0)
+	j.w.append(encDDLColumn(rec, st.id, wire, table, column), false, 0)
 }
 
 func (j *journal) JournalAddString(table, column string, format dict.Format) {

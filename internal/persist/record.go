@@ -12,11 +12,17 @@ package persist
 //	appInt   id u32, value u64 (two's complement)       one int64 row
 //	appFloat id u32, value u64 (IEEE 754 bits)          one float64 row
 //	ddlTab   name bytes                                 table created
-//	ddlStr   id u32, format u8, table str16, column str16
+//	ddlStr   id u32, format u8, table str16, column str16    (legacy, read-only)
 //	ddlInt   id u32, table str16, column str16
 //	ddlFloat id u32, table str16, column str16
 //	seal     (empty)                                    segment sealed, rotation follows
 //	merge    id u32, nMain u64                          main part published (marker)
+//	ddlStr2  id u32, format u16, table str16, column str16
+//
+// The format field of a string column is the dictionary format's registry
+// wire ID. ddlStr carries it as a single byte — enough for the built-in
+// formats but not for registered extensions — so writers emit ddlStr2 with
+// a u16 wire ID; ddlStr is still decoded for pre-existing logs.
 //
 // str16 is a u16 length followed by that many bytes. Columns are numbered
 // by their ddl records; append records refer to the number, never the name.
@@ -43,6 +49,7 @@ const (
 	recDDLFloat    = 8
 	recSeal        = 9
 	recMerge       = 10
+	recDDLString2  = 11
 )
 
 // maxRecord bounds a single record's payload; larger lengths are treated as
@@ -165,30 +172,37 @@ func encDDLTable(name string) []byte {
 	return append([]byte{recDDLTable}, name...)
 }
 
-func encDDLColumn(kind byte, id uint32, format uint8, table, column string) []byte {
-	p := make([]byte, 0, 10+len(table)+len(column))
+func encDDLColumn(kind byte, id uint32, format uint16, table, column string) []byte {
+	p := make([]byte, 0, 11+len(table)+len(column))
 	p = append(p, kind)
 	p = binary.LittleEndian.AppendUint32(p, id)
-	if kind == recDDLString {
-		p = append(p, format)
+	if kind == recDDLString2 {
+		p = binary.LittleEndian.AppendUint16(p, format)
 	}
 	p = appendStr16(p, table)
 	return appendStr16(p, column)
 }
 
-func decDDLColumn(p []byte) (id uint32, format uint8, table, column string, err error) {
+func decDDLColumn(p []byte) (id uint32, format uint16, table, column string, err error) {
 	if len(p) < 5 {
 		return 0, 0, "", "", ErrCorrupt
 	}
 	kind := p[0]
 	id = binary.LittleEndian.Uint32(p[1:])
 	off := 5
-	if kind == recDDLString {
+	switch kind {
+	case recDDLString: // legacy single-byte wire ID
 		if len(p) < 6 {
 			return 0, 0, "", "", ErrCorrupt
 		}
-		format = p[5]
+		format = uint16(p[5])
 		off = 6
+	case recDDLString2:
+		if len(p) < 7 {
+			return 0, 0, "", "", ErrCorrupt
+		}
+		format = binary.LittleEndian.Uint16(p[5:])
+		off = 7
 	}
 	table, off, err = readStr16(p, off)
 	if err != nil {

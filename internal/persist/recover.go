@@ -402,7 +402,7 @@ func (r *recovered) apply(p []byte, cnt map[uint32]uint64, lc *liveCols) {
 			r.tables[name] = true
 			lc.table[name] = r.store.AddTable(name)
 		}
-	case recDDLString, recDDLInt, recDDLFloat:
+	case recDDLString, recDDLString2, recDDLInt, recDDLFloat:
 		r.applyDDLColumn(p, lc)
 	case recAppend:
 		if len(p) < 5 {
@@ -471,10 +471,19 @@ func (r *recovered) applyDDLColumn(p []byte, lc *liveCols) {
 		r.tables[table] = true
 	}
 	var kind uint8
+	var f dict.Format
 	switch p[0] {
-	case recDDLString:
+	case recDDLString, recDDLString2:
+		// The record carries the registry wire ID. An ID this build does not
+		// know (written by a newer or differently configured build) cannot be
+		// decoded into a column; skip the record rather than guess a format —
+		// a single bad record must not sink the segment.
+		var ok bool
+		if f, ok = dict.FormatByWireID(format); !ok {
+			return
+		}
 		kind = partStr
-		lc.str[id] = t.AddString(column, dict.Format(format))
+		lc.str[id] = t.AddString(column, f)
 	case recDDLInt:
 		kind = partInt
 		lc.ints[id] = t.AddInt64(column)
@@ -482,7 +491,7 @@ func (r *recovered) applyDDLColumn(p []byte, lc *liveCols) {
 		kind = partFloat
 		lc.flts[id] = t.AddFloat64(column)
 	}
-	st := &colState{id: id, kind: kind, format: dict.Format(format), table: table, column: column}
+	st := &colState{id: id, kind: kind, format: f, table: table, column: column}
 	r.byName[name] = st
 	r.byID[id] = st
 	if id >= r.nextID {

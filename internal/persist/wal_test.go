@@ -78,8 +78,8 @@ func TestHeaderRoundTrip(t *testing.T) {
 }
 
 func TestDDLColumnRoundTrip(t *testing.T) {
-	for _, kind := range []byte{recDDLString, recDDLInt, recDDLFloat} {
-		p := encDDLColumn(kind, 17, 4, "part", "p_type")
+	for _, kind := range []byte{recDDLString2, recDDLInt, recDDLFloat} {
+		p := encDDLColumn(kind, 17, 300, "part", "p_type")
 		id, format, table, column, err := decDDLColumn(p)
 		if err != nil {
 			t.Fatalf("kind %d: %v", kind, err)
@@ -87,12 +87,28 @@ func TestDDLColumnRoundTrip(t *testing.T) {
 		if id != 17 || table != "part" || column != "p_type" {
 			t.Fatalf("kind %d: id=%d %s.%s", kind, id, table, column)
 		}
-		if kind == recDDLString && format != 4 {
+		if kind == recDDLString2 && format != 300 {
 			t.Fatalf("string format = %d", format)
 		}
 		if _, _, _, _, err := decDDLColumn(append(p, 0)); err == nil {
 			t.Fatalf("trailing byte accepted")
 		}
+	}
+}
+
+// TestDDLColumnLegacyString decodes a hand-built pre-registry ddlStr record
+// (single-byte format). Writers no longer emit it, readers must keep
+// accepting it.
+func TestDDLColumnLegacyString(t *testing.T) {
+	p := []byte{recDDLString, 17, 0, 0, 0, 4}
+	p = appendStr16(p, "part")
+	p = appendStr16(p, "p_type")
+	id, format, table, column, err := decDDLColumn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 17 || format != 4 || table != "part" || column != "p_type" {
+		t.Fatalf("got id=%d format=%d %s.%s", id, format, table, column)
 	}
 }
 

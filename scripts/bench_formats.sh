@@ -1,0 +1,79 @@
+#!/bin/sh
+# Extension-format benchmark gate: runs BenchmarkNewFormats (the onpair and
+# lz78 registry extensions vs the survey's strongest general-purpose
+# compressors, array rp 16 and fc block rp 16, on synthetic and TPC-H
+# corpora) and writes BENCH_formats.json at the repo root with each
+# format's compression rate and extract/locate ns per corpus.
+#
+# Gate, on every corpus: onpair must compress at least as well as
+# array rp 16 and extract faster than fc block rp 16 — i.e. the pair-table
+# format must actually occupy the fast-AND-small corner that justified
+# adding it (lz78 is reported but not gated; it trades compression for
+# construction speed).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_formats.txt
+go test -run '^$' -bench 'BenchmarkNewFormats' -benchtime=20000x -count=1 . | tee "$out"
+
+awk '
+/^BenchmarkNewFormats\// {
+    name = $1
+    sub(/^BenchmarkNewFormats\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    split(name, parts, "/")
+    corpus = parts[1]; format = parts[2]; op = parts[3]
+    ns = $3
+    rate = ""
+    for (i = 4; i < NF; i++) if ($(i+1) == "rate") rate = $i
+    key = corpus "/" format
+    if (!(key in seen)) { seen[key] = 1; order[n++] = key }
+    if (op == "extract") ext[key] = ns
+    if (op == "locate")  loc[key] = ns
+    if (rate != "") rt[key] = rate
+}
+END {
+    printf "{\n  \"benchmark\": \"formats\",\n  \"corpora\": {\n"
+    prev = ""
+    line = ""
+    for (i = 0; i < n; i++) {
+        split(order[i], p, "/")
+        corpus = p[1]; format = p[2]
+        if (corpus != prev) {
+            if (prev != "") printf "%s\n    },\n", line
+            printf "    \"%s\": {\n", corpus
+            prev = corpus
+            line = ""
+        }
+        if (line != "") printf "%s,\n", line
+        line = sprintf("      \"%s\": {\"rate\": %s, \"extract_ns\": %s, \"locate_ns\": %s}", \
+            format, rt[order[i]], ext[order[i]], loc[order[i]])
+    }
+    printf "%s\n    }\n  },\n", line
+
+    fail = 0
+    for (i = 0; i < n; i++) {
+        split(order[i], p, "/")
+        if (p[2] != "onpair") continue
+        corpus = p[1]
+        rp = corpus "/array_rp_16"
+        fc = corpus "/fc_block_rp_16"
+        if (rt[order[i]] + 0 > rt[rp] + 0) {
+            printf "GATEFAIL: %s onpair rate %s > array rp 16 rate %s\n", \
+                corpus, rt[order[i]], rt[rp] > "/dev/stderr"
+            fail = 1
+        }
+        if (ext[order[i]] + 0 > ext[fc] + 0) {
+            printf "GATEFAIL: %s onpair extract %s ns > fc block rp 16 %s ns\n", \
+                corpus, ext[order[i]], ext[fc] > "/dev/stderr"
+            fail = 1
+        }
+    }
+    printf "  \"gate\": \"%s\"\n}\n", fail ? "FAIL" : "PASS"
+    exit fail
+}' "$out" > BENCH_formats.json || { cat BENCH_formats.json; rm -f "$out"; exit 1; }
+rm -f "$out"
+
+cat BENCH_formats.json
+echo "OK: onpair compresses better than array rp 16 and extracts faster than fc block rp 16 on every corpus"

@@ -16,3 +16,12 @@ go test -race ./...
 # payloads at recovery time.
 go test -run '^$' -fuzz FuzzUnmarshalPacked -fuzztime 5s ./internal/intcomp/
 go test -run '^$' -fuzz FuzzUnmarshal -fuzztime 5s ./internal/dict/
+
+# Registry completeness: every registered dictionary format must carry a
+# size model and a default cost-table entry (TestRegistryCompleteness), keep
+# its immutable wire ID (TestWireIDStability), and satisfy the cross-format
+# differential oracle (TestAllFormatsAgree). A format cannot register at all
+# without a serializer — RegisterFormat panics — and these suites iterate
+# the registry, so a new format cannot dodge coverage.
+go test -count=1 -run 'TestRegistryCompleteness' ./internal/model/
+go test -count=1 -run 'TestWireIDStability|TestRegistryEnumeration|TestAllFormatsAgree' ./internal/dict/

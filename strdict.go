@@ -5,9 +5,11 @@
 //
 // It provides three layers, mirroring the paper's three contributions:
 //
-//  1. Eighteen compressed, order-preserving string dictionary formats
-//     (Section 3): Build constructs any of them over a sorted string set;
-//     every format supports single-tuple extract and locate.
+//  1. A registry of compressed, order-preserving string dictionary formats:
+//     the paper's eighteen survey variants (Section 3) plus registered
+//     extensions such as OnPair and LZ78. Build constructs any of them over
+//     a sorted string set; every format supports single-tuple extract and
+//     locate.
 //  2. A size-prediction framework (Section 4): Sample + EstimateSize predict
 //     a format's size from a small uniform sample of the column, and
 //     CostTable models per-operation runtimes.
@@ -47,7 +49,7 @@ import (
 	"strdict/internal/persist"
 )
 
-// Format identifies one of the 18 dictionary variants.
+// Format identifies a registered dictionary variant.
 type Format = dict.Format
 
 // The dictionary formats of the paper's survey (Section 3.3).
@@ -72,8 +74,15 @@ const (
 	ColumnBC    = dict.ColumnBC
 )
 
-// NumFormats is the number of dictionary variants.
-const NumFormats = dict.NumFormats
+// Extension formats registered beyond the paper's survey: the OnPair-style
+// pair-table dictionary and the LZ78-compressed dictionary.
+var (
+	OnPair = dict.OnPair
+	LZ78   = dict.LZ78
+)
+
+// NumFormats returns the number of registered dictionary variants.
+func NumFormats() int { return dict.NumFormats() }
 
 // Dictionary is the read-only string dictionary interface (Definition 1):
 // Extract(id), Locate(str), Len, Bytes, Format.
@@ -229,7 +238,7 @@ func Reconfigure(s *Store, mgr *Manager, lifetimeNs float64, sampleRatio float64
 }
 
 // ReconfigureParallel is Reconfigure with the per-column work — sampling,
-// the 18-format model evaluation, and the dictionary rebuild — fanned out
+// the all-formats model evaluation, and the dictionary rebuild — fanned out
 // across a bounded worker pool (parallelism <= 1 is serial). The trade-off
 // parameter is read once per column from the live manager; decisions and
 // rebuilt dictionaries are identical to the serial path.
