@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all bench-recovery bench-formats check
+.PHONY: all build test race vet bench bench-all bench-recovery bench-formats bench-scan check
 
 all: check
 
@@ -20,9 +20,16 @@ vet:
 # merge throughput; writes BENCH_read_path.json.
 # Partial-merge gate: partial-fold policy vs always-full merges on a hot
 # append stream; writes BENCH_partial_merge.json.
+# Scan-kernel gate: packed-domain predicate kernels and zone-map pruning vs
+# the scalar per-row path; writes BENCH_scan_kernels.json.
 bench:
 	sh scripts/bench_read_path.sh
 	sh scripts/bench_partial_merge.sh
+	sh scripts/bench_scan_kernels.sh
+
+# Scan-kernel gate alone (it is also part of `make bench`).
+bench-scan:
+	sh scripts/bench_scan_kernels.sh
 
 # Durability gate: WAL append overhead vs in-memory, plus crash-recovery
 # throughput for the replay-heavy and checkpoint-heavy extremes; writes

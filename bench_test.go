@@ -247,44 +247,48 @@ func BenchmarkSnapshotScan(b *testing.B) {
 		col.Append(uniq[(i*2654435761)%len(uniq)])
 	}
 	col.Merge(strdict.Array) // cheap format: access cost ~ lock cost
-	snap := col.Snapshot()
 
 	// AppendGet into a reusable buffer keeps every variant allocation-free,
 	// so the measured difference is synchronization, not the allocator. The
 	// RWMutex baseline emulates the old StringColumn: every read takes the
-	// column lock around the same underlying dictionary access.
+	// column lock around the same underlying dictionary access. Snapshots
+	// are single-goroutine query handles (their trace counters are plain
+	// fields), so each variant constructs its reader per goroutine — the
+	// mk() factory runs once per RunParallel worker.
 	var mu sync.RWMutex
 	locked := func(dst []byte, i int) []byte {
 		mu.RLock()
 		defer mu.RUnlock()
-		return snap.AppendGet(dst, i)
+		return col.AppendGet(dst, i)
 	}
 
 	readers := []struct {
 		name string
-		get  func(dst []byte, i int) []byte
+		mk   func() func(dst []byte, i int) []byte
 	}{
-		{"lockfree-column", col.AppendGet},
-		{"snapshot", snap.AppendGet},
-		{"rwmutex", locked},
+		{"lockfree-column", func() func([]byte, int) []byte { return col.AppendGet }},
+		{"snapshot", func() func([]byte, int) []byte { return col.Snapshot().AppendGet }},
+		{"rwmutex", func() func([]byte, int) []byte { return locked }},
 	}
 	// rows is a power of two: i*K & (rows-1) with odd K permutes the row
 	// space without the integer division a modulo would add to every op.
 	for _, r := range readers {
 		b.Run("value/"+r.name+"/serial", func(b *testing.B) {
 			b.ReportAllocs()
+			get := r.mk()
 			var buf []byte
 			for i := 0; i < b.N; i++ {
-				buf = r.get(buf[:0], (i*2654435761)&(rows-1))
+				buf = get(buf[:0], (i*2654435761)&(rows-1))
 			}
 		})
 		b.Run("value/"+r.name+"/parallel", func(b *testing.B) {
 			b.ReportAllocs()
 			b.RunParallel(func(pb *testing.PB) {
+				get := r.mk()
 				var buf []byte
 				i := 0
 				for pb.Next() {
-					buf = r.get(buf[:0], (i*2654435761)&(rows-1))
+					buf = get(buf[:0], (i*2654435761)&(rows-1))
 					i++
 				}
 			})
@@ -295,6 +299,7 @@ func BenchmarkSnapshotScan(b *testing.B) {
 	// TranslateCodes evaluate predicates directly on value IDs, one tiny
 	// vector access per row. This is where a per-call mutex hurts most —
 	// the lock is several times the op itself.
+	snap := col.Snapshot()
 	lockedCode := func(i int) uint32 {
 		mu.RLock()
 		defer mu.RUnlock()

@@ -1,5 +1,7 @@
 package bits
 
+import "math/bits"
+
 // PackedArray stores n unsigned integers of a fixed bit width contiguously.
 // It backs the pointer/offset arrays of the dictionary formats and the
 // code vectors of the column store, where the width is chosen as
@@ -100,6 +102,224 @@ func (p *PackedArray) AppendBinary(dst []byte) []byte {
 	putU64(uint64(p.n))
 	for _, w := range p.words {
 		putU64(w)
+	}
+	return dst
+}
+
+// fieldMask returns the mask selecting the low width bits.
+func fieldMask(width uint) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<width - 1
+}
+
+// checkRange panics unless [start, start+n) is a valid entry range. n == 0
+// ranges are valid at any start within [0, Len].
+func (p *PackedArray) checkRange(start, n int) {
+	if start < 0 || n < 0 || start > p.n-n {
+		panic("bits: packed array range out of bounds")
+	}
+}
+
+// AppendRange appends entries [start, start+n) to dst and returns the
+// extended slice. It is the bulk form of Get: the word arithmetic stays in
+// registers across entries instead of being re-derived per call, so batch
+// unpacking (64-256 entries at a time) runs several times faster than a
+// Get-per-element loop.
+func (p *PackedArray) AppendRange(dst []uint64, start, n int) []uint64 {
+	p.checkRange(start, n)
+	if n == 0 {
+		return dst
+	}
+	width := p.width
+	mask := fieldMask(width)
+	words := p.words
+	bitPos := uint64(start) * uint64(width)
+	end := bitPos + uint64(n)*uint64(width)
+	for ; bitPos < end; bitPos += uint64(width) {
+		word := bitPos >> 6
+		off := uint(bitPos & 63)
+		v := words[word] >> off
+		if off+width > 64 {
+			v |= words[word+1] << (64 - off)
+		}
+		dst = append(dst, v&mask)
+	}
+	return dst
+}
+
+// swarAligned reports whether the word-at-a-time match kernels apply: the
+// width must tile 64-bit words exactly, so that no entry straddles a word
+// boundary and a whole word of entries can be tested with a handful of ALU
+// ops (SWAR — SIMD within a register).
+func (p *PackedArray) swarAligned() bool { return 64%p.width == 0 }
+
+// swarConsts builds the per-word SWAR constants for the array's width:
+// code broadcast to every field, the per-field high bit H, and the
+// per-field low mask L = H-1.
+func (p *PackedArray) swarConsts(code uint64) (bcast, h, l uint64) {
+	w := p.width
+	hbit := uint64(1) << (w - 1)
+	lmask := hbit - 1
+	for sh := uint(0); sh < 64; sh += w {
+		bcast |= code << sh
+		h |= hbit << sh
+		l |= lmask << sh
+	}
+	return bcast, h, l
+}
+
+// swarFieldClip clears the match bits of fields outside the within-word
+// field range [a, b). m holds one H bit per matching field.
+func swarFieldClip(m uint64, a, b int, w uint) uint64 {
+	if a > 0 {
+		m &^= 1<<(uint(a)*w) - 1
+	}
+	if uint(b)*w < 64 {
+		m &= 1<<(uint(b)*w) - 1
+	}
+	return m
+}
+
+// AppendMatchEq appends base+i for every entry i in [start, start+n) whose
+// value equals code, in ascending order. When the width tiles 64-bit words
+// the scan runs word-at-a-time: XOR against the broadcast code turns
+// equality into per-field zero detection, resolved for all fields of a word
+// with four ALU ops. Other widths batch-unpack into a small stack buffer
+// and compare.
+func (p *PackedArray) AppendMatchEq(dst []int, base, start, n int, code uint64) []int {
+	p.checkRange(start, n)
+	if n == 0 || code&^fieldMask(p.width) != 0 {
+		return dst // a code wider than the entries can never match
+	}
+	if !p.swarAligned() {
+		return p.appendMatchEqUnpack(dst, base, start, n, code)
+	}
+	w := p.width
+	per := int(64 / w)
+	bcast, h, l := p.swarConsts(code)
+	words := p.words
+	for wi := start / per; wi*per < start+n; wi++ {
+		x := words[wi] ^ bcast
+		// High bit of each field of t is set iff the field is non-zero;
+		// (x&L)+L cannot carry across fields since both addends fit w-1 bits.
+		t := ((x & l) + l) | x
+		m := ^t & h
+		if m == 0 {
+			continue
+		}
+		lo := wi * per
+		a, b := 0, per
+		if lo < start {
+			a = start - lo
+		}
+		if lo+per > start+n {
+			b = start + n - lo
+		}
+		m = swarFieldClip(m, a, b, w)
+		for ; m != 0; m &= m - 1 {
+			f := bits.TrailingZeros64(m) / int(w)
+			dst = append(dst, base+lo+f)
+		}
+	}
+	return dst
+}
+
+// matchChunk is the stack-buffer size of the unpack-then-compare fallbacks.
+const matchChunk = 256
+
+// appendMatchEqUnpack is the batch-unpack-then-compare equality fallback for
+// widths whose entries straddle word boundaries.
+func (p *PackedArray) appendMatchEqUnpack(dst []int, base, start, n int, code uint64) []int {
+	var buf [matchChunk]uint64
+	for o := 0; o < n; {
+		k := n - o
+		if k > matchChunk {
+			k = matchChunk
+		}
+		tmp := p.AppendRange(buf[:0], start+o, k)
+		for j, x := range tmp {
+			if x == code {
+				dst = append(dst, base+start+o+j)
+			}
+		}
+		o += k
+	}
+	return dst
+}
+
+// CountEq returns the number of entries in [start, start+n) equal to code.
+// Word-tiling widths count with one popcount per word.
+func (p *PackedArray) CountEq(start, n int, code uint64) int {
+	p.checkRange(start, n)
+	if n == 0 || code&^fieldMask(p.width) != 0 {
+		return 0
+	}
+	if !p.swarAligned() {
+		var buf [matchChunk]uint64
+		count := 0
+		for o := 0; o < n; {
+			k := n - o
+			if k > matchChunk {
+				k = matchChunk
+			}
+			tmp := p.AppendRange(buf[:0], start+o, k)
+			for _, x := range tmp {
+				if x == code {
+					count++
+				}
+			}
+			o += k
+		}
+		return count
+	}
+	w := p.width
+	per := int(64 / w)
+	bcast, h, l := p.swarConsts(code)
+	words := p.words
+	count := 0
+	for wi := start / per; wi*per < start+n; wi++ {
+		x := words[wi] ^ bcast
+		t := ((x & l) + l) | x
+		m := ^t & h
+		if m == 0 {
+			continue
+		}
+		lo := wi * per
+		a, b := 0, per
+		if lo < start {
+			a = start - lo
+		}
+		if lo+per > start+n {
+			b = start + n - lo
+		}
+		count += bits.OnesCount64(swarFieldClip(m, a, b, w))
+	}
+	return count
+}
+
+// AppendMatchRange appends base+i for every entry i in [start, start+n)
+// with lo <= value < hi, in ascending order, by batch-unpacking into a
+// stack buffer and comparing.
+func (p *PackedArray) AppendMatchRange(dst []int, base, start, n int, lo, hi uint64) []int {
+	p.checkRange(start, n)
+	if n == 0 || lo >= hi {
+		return dst
+	}
+	var buf [matchChunk]uint64
+	for o := 0; o < n; {
+		k := n - o
+		if k > matchChunk {
+			k = matchChunk
+		}
+		tmp := p.AppendRange(buf[:0], start+o, k)
+		for j, x := range tmp {
+			if lo <= x && x < hi {
+				dst = append(dst, base+start+o+j)
+			}
+		}
+		o += k
 	}
 	return dst
 }

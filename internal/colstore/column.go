@@ -90,6 +90,12 @@ type deltaSegment struct {
 	vals  []string          // segment code -> value, insertion order
 	index map[string]uint32 // value -> segment code
 	rows  []uint32          // per row: segment code
+
+	// Lexicographic bounds over vals, computed at seal time: the segment's
+	// zone-map summary (segment codes are local, so value bounds are the
+	// comparable form). Range scans skip segments whose bounds exclude the
+	// predicate interval.
+	minVal, maxVal string
 }
 
 // columnVersion is the immutable read state of a column: the read-optimized
@@ -103,6 +109,11 @@ type columnVersion struct {
 	dict  dict.Dictionary
 	codes intcomp.Vector
 	nMain int
+
+	// zones summarizes the main code vector in zoneRows blocks (min/max
+	// code per block), built at merge/restore time. Scans skip blocks whose
+	// summary excludes the predicate's code interval.
+	zones []zone
 
 	// Sealed delta segments, oldest first. Their rows follow the main part
 	// in row-position order; sealedRows caches their total length.
@@ -168,6 +179,28 @@ type StringColumn struct {
 
 	extracts atomic.Uint64
 	locates  atomic.Uint64
+
+	// Zone-map outcome counters: blocks scanned vs. pruned across all scans
+	// on this column. Flushed from per-snapshot accumulators on Release.
+	zonesScanned atomic.Uint64
+	zonesSkipped atomic.Uint64
+}
+
+// ScanStats counts zone-map outcomes on a column: how many main-part
+// blocks scans actually decoded versus skipped via their min/max summary.
+type ScanStats struct {
+	ZonesScanned uint64
+	ZonesSkipped uint64
+}
+
+// ScanStats returns the cumulative zone-map counters. Like AccessStats the
+// counters are trace data; snapshots accumulate locally and flush on
+// Release, so read them after the scanning snapshots are released.
+func (c *StringColumn) ScanStats() ScanStats {
+	return ScanStats{
+		ZonesScanned: c.zonesScanned.Load(),
+		ZonesSkipped: c.zonesSkipped.Load(),
+	}
 }
 
 // NewStringColumn returns an empty column whose main part uses the given
@@ -351,7 +384,19 @@ func (c *StringColumn) CodeRange(lo, hi string) (uint32, uint32) {
 // against one pinned snapshot; a fully merged column is scanned without any
 // mutex operation.
 func (c *StringColumn) ScanEq(v string, out []int) []int {
-	return c.Snapshot().ScanEq(v, out)
+	s := c.Snapshot()
+	defer s.Release()
+	return s.ScanEq(v, out)
+}
+
+// ScanRange appends to out the rows whose value lies in [lo, hi). Like
+// ScanEq it runs against one pinned snapshot; the main part is evaluated as
+// a code-interval scan (formats are order-preserving) with zone-map
+// pruning.
+func (c *StringColumn) ScanRange(lo, hi string, out []int) []int {
+	s := c.Snapshot()
+	defer s.Release()
+	return s.ScanRange(lo, hi, out)
 }
 
 // Stats returns the cumulative dictionary access counters.
@@ -363,6 +408,8 @@ func (c *StringColumn) Stats() AccessStats {
 func (c *StringColumn) ResetStats() {
 	c.extracts.Store(0)
 	c.locates.Store(0)
+	c.zonesScanned.Store(0)
+	c.zonesSkipped.Store(0)
 }
 
 // DictValues materializes the sorted distinct values of the main dictionary.
@@ -394,10 +441,12 @@ func (c *StringColumn) sealActive() *columnVersion {
 		return v
 	}
 	seg := &deltaSegment{vals: c.activeVals, index: c.activeIndex, rows: c.activeRows}
+	seg.minVal, seg.maxVal = segValueBounds(seg.vals)
 	nv := &columnVersion{
 		dict:       v.dict,
 		codes:      v.codes,
 		nMain:      v.nMain,
+		zones:      v.zones,
 		sealed:     append(v.sealed[:len(v.sealed):len(v.sealed)], seg),
 		sealedRows: v.sealedRows + len(seg.rows),
 	}
@@ -462,7 +511,12 @@ func (c *StringColumn) MergeWithOptions(format dict.Format, opts MergeOptions) M
 	// Publish. The row boundary (main + sealed) is unchanged, so no append
 	// lock is needed; rows appended since the seal stay in the active
 	// segment.
-	c.version.Store(&columnVersion{dict: newDict, codes: newVec, nMain: n})
+	c.version.Store(&columnVersion{
+		dict:  newDict,
+		codes: newVec,
+		nMain: n,
+		zones: buildZonesAt(newCodes, 0),
+	})
 	c.journalMainPart(newDict, newVec, n)
 	return MergeResult{Folded: v.sealedRows, Rewritten: n, DictBuilt: true}
 }
@@ -521,6 +575,7 @@ func (c *StringColumn) MergePartialWithOptions(k int, opts MergeOptions) MergeRe
 
 	var newDict dict.Dictionary
 	var newVec intcomp.Vector
+	var newZones []zone
 	rewritten := foldRows
 	dictBuilt := false
 	if len(merged) == len(oldVals) {
@@ -538,6 +593,9 @@ func (c *StringColumn) MergePartialWithOptions(k int, opts MergeOptions) MergeRe
 			off += len(seg.rows)
 		}
 		newVec = intcomp.Concat(v.codes, intcomp.PackAuto(tail))
+		// The existing main rows (and their zones) are untouched; only the
+		// folded tail needs summarizing.
+		newZones = append(v.zones[:len(v.zones):len(v.zones)], buildZonesAt(tail, v.nMain)...)
 	} else {
 		// New values shift IDs (order preservation): rebuild the dictionary
 		// in the same format and remap everything below the new boundary.
@@ -557,6 +615,7 @@ func (c *StringColumn) MergePartialWithOptions(k int, opts MergeOptions) MergeRe
 		newDict = dict.BuildUncheckedWithOptions(v.dict.Format(), merged,
 			dict.BuildOptions{Parallelism: opts.BuildParallelism})
 		newVec = intcomp.PackAuto(newCodes)
+		newZones = buildZonesAt(newCodes, 0)
 		rewritten = nMain
 		dictBuilt = true
 	}
@@ -568,6 +627,7 @@ func (c *StringColumn) MergePartialWithOptions(k int, opts MergeOptions) MergeRe
 		dict:       newDict,
 		codes:      newVec,
 		nMain:      nMain,
+		zones:      newZones,
 		sealed:     keep,
 		sealedRows: v.sealedRows - foldRows,
 	})
@@ -655,11 +715,14 @@ func (c *StringColumn) RebuildWithOptions(format dict.Format, opts MergeOptions)
 	newDict := dict.BuildUncheckedWithOptions(format, dictValuesOf(v.dict),
 		dict.BuildOptions{Parallelism: opts.BuildParallelism})
 
-	// v is still current: versions are only published under mergeMu.
+	// v is still current: versions are only published under mergeMu. The
+	// code vector (and so its zones) is unchanged: formats are
+	// order-preserving, so a format rebuild keeps every ID.
 	c.version.Store(&columnVersion{
 		dict:       newDict,
 		codes:      v.codes,
 		nMain:      v.nMain,
+		zones:      v.zones,
 		sealed:     v.sealed,
 		sealedRows: v.sealedRows,
 	})

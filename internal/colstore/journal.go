@@ -118,6 +118,11 @@ func (c *StringColumn) RestoreMain(d dict.Dictionary, codes intcomp.Vector) {
 	if c.totalRows.Load() != 0 {
 		panic("colstore: RestoreMain on a non-empty column")
 	}
-	c.version.Store(&columnVersion{dict: d, codes: codes, nMain: codes.Len()})
+	c.version.Store(&columnVersion{
+		dict:  d,
+		codes: codes,
+		nMain: codes.Len(),
+		zones: zonesOfVector(codes),
+	})
 	c.totalRows.Store(int64(codes.Len()))
 }

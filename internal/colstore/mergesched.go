@@ -556,6 +556,7 @@ func (m *MergeScheduler) mergeColumn(c *StringColumn, mode mergeMode) bool {
 		snap := c.Snapshot()
 		lifetime := m.LifetimeNs(name, float64(time.Minute))
 		format = m.Chooser(snap, lifetime)
+		snap.Release()
 	}
 	res := c.MergeWithOptions(format, opts)
 	m.record(name, start, res, true)

@@ -9,51 +9,72 @@ package colstore
 // Snapshot) for its whole run, so a concurrent merge can never tear the
 // ID space mid-plan.
 
+// queryChunk is the batch size of the bulk code-decode loops below: large
+// enough to amortize the kernel dispatch, small enough for a stack buffer.
+const queryChunk = 256
+
 // TranslateCodes maps every value ID of src's dictionary to the matching
 // value ID in dst's dictionary, or -1 when dst does not contain the value.
 // It costs src.DictLen() extracts plus as many locates on dst — the standard
 // dictionary-translation join of column stores. Both dictionaries are pinned
 // via snapshots, so the mapping is resolved against one consistent pair even
-// while merges run.
+// while merges run. The walk stays in byte-slice space end to end
+// (ForEachValue feeding LocateBytes), so no per-entry string is allocated.
 func TranslateCodes(src, dst *StringColumn) []int64 {
 	ss, ds := src.Snapshot(), dst.Snapshot()
+	defer ss.Release()
+	defer ds.Release()
 	out := make([]int64, ss.DictLen())
-	var buf []byte
-	for id := range out {
-		buf = ss.AppendExtract(buf[:0], uint32(id))
-		if did, found := ds.Locate(string(buf)); found {
+	ss.ForEachValue(func(id uint32, value []byte) bool {
+		if did, found := ds.LocateBytes(value); found {
 			out[id] = int64(did)
 		} else {
 			out[id] = -1
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // RowIndexByCode builds an index from value ID to the (single) row holding
 // it. Intended for key columns, where every value occurs exactly once; for
-// repeated values the last row wins. It reads only the code vector of one
-// pinned version — no dictionary operations, no locks.
+// repeated values the last row wins. It batch-decodes the code vector of
+// one pinned version — no dictionary operations, no locks.
 func (c *StringColumn) RowIndexByCode() []int32 {
 	v := c.version.Load()
 	idx := make([]int32, v.dict.Len())
 	for i := range idx {
 		idx[i] = -1
 	}
-	for row := 0; row < v.nMain; row++ {
-		idx[v.codes.Get(row)] = int32(row)
+	var buf [queryChunk]uint64
+	for row := 0; row < v.nMain; {
+		k := v.nMain - row
+		if k > queryChunk {
+			k = queryChunk
+		}
+		for j, code := range v.codes.AppendRange(buf[:0], row, k) {
+			idx[code] = int32(row + j)
+		}
+		row += k
 	}
 	return idx
 }
 
-// RowsByCode groups the main-part rows by value ID. It reads only the code
-// vector of one pinned version.
+// RowsByCode groups the main-part rows by value ID. It batch-decodes the
+// code vector of one pinned version.
 func (c *StringColumn) RowsByCode() [][]int32 {
 	v := c.version.Load()
 	out := make([][]int32, v.dict.Len())
-	for row := 0; row < v.nMain; row++ {
-		code := v.codes.Get(row)
-		out[code] = append(out[code], int32(row))
+	var buf [queryChunk]uint64
+	for row := 0; row < v.nMain; {
+		k := v.nMain - row
+		if k > queryChunk {
+			k = queryChunk
+		}
+		for j, code := range v.codes.AppendRange(buf[:0], row, k) {
+			out[code] = append(out[code], int32(row+j))
+		}
+		row += k
 	}
 	return out
 }
@@ -64,6 +85,7 @@ func (c *StringColumn) RowsByCode() [][]int32 {
 // pinned for the whole evaluation.
 func (c *StringColumn) CodeSet(pred func(string) bool) map[uint32]bool {
 	s := c.Snapshot()
+	defer s.Release()
 	out := make(map[uint32]bool)
 	var buf []byte
 	for id := 0; id < s.DictLen(); id++ {

@@ -1,10 +1,14 @@
 package colstore
 
-import "strdict/internal/dict"
+import (
+	"strdict/internal/dict"
+	"strdict/internal/intcomp"
+)
 
 // Snapshot pins one consistent, immutable view of a StringColumn: the
-// published version (dictionary, code vector, sealed delta segments) plus a
-// frozen prefix of the active delta segment captured at snapshot time.
+// published version (dictionary, code vector, zone maps, sealed delta
+// segments) plus a frozen prefix of the active delta segment captured at
+// snapshot time.
 //
 // Contract:
 //
@@ -20,10 +24,15 @@ import "strdict/internal/dict"
 //     O(1) — a single atomic load when the column has no unsealed rows, a
 //     brief mutex acquisition otherwise — and holding one only pins the old
 //     version's memory until released to the GC.
+//   - Single goroutine: a snapshot is a query handle, not a shared object.
+//     Its trace counters and scratch buffers are plain fields precisely so
+//     scans stop contending on shared atomic cache lines; goroutines that
+//     scan concurrently each take their own snapshot (still O(1)).
 //
-// Snapshot methods update the column's access counters (they are atomic
-// trace counters, not synchronization), so traced workloads may run on
-// snapshots.
+// Snapshot methods accumulate the dictionary access counters locally and
+// flush them to the column on Release; call Release (idempotent) when the
+// query is done so traced workloads keep exact counts. A dropped,
+// unreleased snapshot only loses its trace counts — never data.
 type Snapshot struct {
 	col *StringColumn
 	v   *columnVersion
@@ -33,6 +42,15 @@ type Snapshot struct {
 	// consistent prefix while the writer keeps appending.
 	tailVals []string
 	tailRows []uint32
+
+	// Deferred trace counters, flushed to the column's atomics by Release.
+	// Plain fields: the whole point is that a tight scan loop bumps a local
+	// word instead of a cache line shared with every other scanning
+	// goroutine.
+	locates      uint64
+	extracts     uint64
+	zonesScanned uint64
+	zonesSkipped uint64
 }
 
 // Snapshot returns a handle pinning the column's current state. A fully
@@ -57,6 +75,29 @@ func (c *StringColumn) Snapshot() *Snapshot {
 		v:        v,
 		tailVals: c.activeVals[:len(c.activeVals):len(c.activeVals)],
 		tailRows: c.activeRows[:len(c.activeRows):len(c.activeRows)],
+	}
+}
+
+// Release flushes the snapshot's accumulated trace counters to the column
+// and marks the snapshot done. Idempotent; the snapshot's read methods
+// remain usable afterwards (counts bumped after a Release flush on the
+// next one).
+func (s *Snapshot) Release() {
+	if s.locates != 0 {
+		s.col.locates.Add(s.locates)
+		s.locates = 0
+	}
+	if s.extracts != 0 {
+		s.col.extracts.Add(s.extracts)
+		s.extracts = 0
+	}
+	if s.zonesScanned != 0 {
+		s.col.zonesScanned.Add(s.zonesScanned)
+		s.zonesScanned = 0
+	}
+	if s.zonesSkipped != 0 {
+		s.col.zonesSkipped.Add(s.zonesSkipped)
+		s.zonesSkipped = 0
 	}
 }
 
@@ -90,8 +131,8 @@ func (s *Snapshot) VectorBytes() uint64 { return s.v.codes.Bytes() }
 func (s *Snapshot) DictValues() []string { return dictValuesOf(s.v.dict) }
 
 // Stats returns the column's cumulative access counters. The counters are
-// live (they keep advancing as others read the column); they are trace
-// data, not part of the pinned structural state.
+// live (they keep advancing as others read the column) and exclude this
+// snapshot's not-yet-flushed local counts; Release first for exact totals.
 func (s *Snapshot) Stats() AccessStats { return s.col.Stats() }
 
 // Get returns the value at the given row (counted as an extract for main
@@ -99,7 +140,7 @@ func (s *Snapshot) Stats() AccessStats { return s.col.Stats() }
 func (s *Snapshot) Get(row int) string {
 	v := s.v
 	if row < v.nMain {
-		s.col.extracts.Add(1)
+		s.extracts++
 		return v.dict.Extract(uint32(v.codes.Get(row)))
 	}
 	if row < v.rows() {
@@ -113,7 +154,7 @@ func (s *Snapshot) Get(row int) string {
 func (s *Snapshot) AppendGet(dst []byte, row int) []byte {
 	v := s.v
 	if row < v.nMain {
-		s.col.extracts.Add(1)
+		s.extracts++
 		return v.dict.AppendExtract(dst, uint32(v.codes.Get(row)))
 	}
 	if row < v.rows() {
@@ -132,46 +173,88 @@ func (s *Snapshot) Code(row int) (uint32, bool) {
 	return 0, false
 }
 
+// AppendCodeRange appends the main-part value IDs of rows
+// [start, start+n) to dst — the bulk form of Code for tight scan loops,
+// decoding 64-256 codes per kernel call instead of one vector access per
+// row. The range must lie within the main part; rows at or past MainRows
+// panic (they have no stable code).
+func (s *Snapshot) AppendCodeRange(dst []uint64, start, n int) []uint64 {
+	if start < 0 || n < 0 || start > s.v.nMain-n {
+		panic("colstore: AppendCodeRange outside the main part")
+	}
+	return s.v.codes.AppendRange(dst, start, n)
+}
+
 // Locate returns the value ID of value in the pinned dictionary (counted).
 func (s *Snapshot) Locate(value string) (uint32, bool) {
-	s.col.locates.Add(1)
+	s.locates++
 	return s.v.dict.Locate(value)
+}
+
+// LocateBytes is Locate for a byte-slice probe (counted). It avoids the
+// string conversion a Locate call site would pay per probe — the
+// dictionary-translation fast path.
+func (s *Snapshot) LocateBytes(value []byte) (uint32, bool) {
+	s.locates++
+	return dict.LocateBytes(s.v.dict, value)
 }
 
 // Extract returns the string for a pinned-dictionary value ID (counted).
 func (s *Snapshot) Extract(id uint32) string {
-	s.col.extracts.Add(1)
+	s.extracts++
 	return s.v.dict.Extract(id)
 }
 
 // AppendExtract is the allocation-free variant of Extract (counted).
 func (s *Snapshot) AppendExtract(dst []byte, id uint32) []byte {
-	s.col.extracts.Add(1)
+	s.extracts++
 	return s.v.dict.AppendExtract(dst, id)
+}
+
+// ForEachValue visits every (id, value) pair of the pinned dictionary in
+// id order until fn returns false. Each visit counts as one extract; value
+// is only valid during the call.
+func (s *Snapshot) ForEachValue(fn func(id uint32, value []byte) bool) {
+	s.v.dict.ForEach(func(id uint32, value []byte) bool {
+		s.extracts++
+		return fn(id, value)
+	})
 }
 
 // CodeRange translates a string range [lo, hi) into a value-ID range
 // [loID, hiID) against the pinned dictionary. Two locates are counted.
 func (s *Snapshot) CodeRange(lo, hi string) (uint32, uint32) {
-	s.col.locates.Add(2)
+	s.locates += 2
 	loID, _ := s.v.dict.Locate(lo)
 	hiID, _ := s.v.dict.Locate(hi)
 	return loID, hiID
 }
 
-// ScanEq appends to out the rows whose value equals value: the main part by
-// code comparison (one locate), sealed segments through their interned
-// indexes, and the captured active prefix by direct comparison.
+// ScanEq appends to out the rows whose value equals value: the main part
+// via the packed-domain equality kernel (one locate) over the zones whose
+// min/max admit the code, sealed segments through their interned indexes,
+// and the captured active prefix by direct comparison.
 func (s *Snapshot) ScanEq(value string, out []int) []int {
 	v := s.v
-	s.col.locates.Add(1)
+	s.locates++
 	if id, found := v.dict.Locate(value); found {
-		for row := 0; row < v.nMain; row++ {
-			if uint32(v.codes.Get(row)) == id {
-				out = append(out, row)
+		code := uint64(id)
+		for _, z := range v.zones {
+			if !z.overlapsEq(code) {
+				s.zonesSkipped++
+				continue
 			}
+			s.zonesScanned++
+			out = intcomp.ScanEq(v.codes, code, z.start, z.n, out)
 		}
 	}
+	return s.scanDeltaEq(value, out)
+}
+
+// scanDeltaEq appends the sealed-segment and captured-tail rows equal to
+// value — the delta half shared by the kernel scan and the scalar oracle.
+func (s *Snapshot) scanDeltaEq(value string, out []int) []int {
+	v := s.v
 	off := v.nMain
 	for _, seg := range v.sealed {
 		if dcode, ok := seg.index[value]; ok {
@@ -189,4 +272,133 @@ func (s *Snapshot) ScanEq(value string, out []int) []int {
 		}
 	}
 	return out
+}
+
+// CountEq returns the number of rows whose value equals value (one
+// locate). The main part is counted with the packed-domain popcount kernel
+// under zone pruning; no row indices are materialized.
+func (s *Snapshot) CountEq(value string) int {
+	v := s.v
+	s.locates++
+	count := 0
+	if id, found := v.dict.Locate(value); found {
+		code := uint64(id)
+		for _, z := range v.zones {
+			if !z.overlapsEq(code) {
+				s.zonesSkipped++
+				continue
+			}
+			s.zonesScanned++
+			count += intcomp.CountEq(v.codes, code, z.start, z.n)
+		}
+	}
+	for _, seg := range v.sealed {
+		if dcode, ok := seg.index[value]; ok {
+			for _, dc := range seg.rows {
+				if dc == dcode {
+					count++
+				}
+			}
+		}
+	}
+	for _, dc := range s.tailRows {
+		if s.tailVals[dc] == value {
+			count++
+		}
+	}
+	return count
+}
+
+// ScanRange appends to out the rows whose value lies in [lo, hi). Order
+// preservation turns the string interval into the code interval
+// [loID, hiID) (two locates, Definition 1 insertion points), so the main
+// part is a pure code-range kernel scan under zone pruning; sealed
+// segments are skipped via their value bounds, the rest of the delta
+// compares strings.
+func (s *Snapshot) ScanRange(lo, hi string, out []int) []int {
+	v := s.v
+	s.locates += 2
+	loID, _ := v.dict.Locate(lo)
+	hiID, _ := v.dict.Locate(hi)
+	if loID < hiID {
+		for _, z := range v.zones {
+			if !z.overlapsRange(uint64(loID), uint64(hiID)) {
+				s.zonesSkipped++
+				continue
+			}
+			s.zonesScanned++
+			out = intcomp.ScanRange(v.codes, uint64(loID), uint64(hiID), z.start, z.n, out)
+		}
+	}
+	return s.scanDeltaRange(lo, hi, out)
+}
+
+// scanDeltaRange appends the sealed-segment and captured-tail rows with
+// lo <= value < hi. Sealed segments whose value bounds exclude the
+// interval are skipped whole; the others are evaluated once per distinct
+// value, then per row on the tiny per-segment code.
+func (s *Snapshot) scanDeltaRange(lo, hi string, out []int) []int {
+	v := s.v
+	off := v.nMain
+	for _, seg := range v.sealed {
+		if seg.maxVal < lo || seg.minVal >= hi {
+			off += len(seg.rows)
+			continue
+		}
+		match := make([]bool, len(seg.vals))
+		any := false
+		for i, val := range seg.vals {
+			if lo <= val && val < hi {
+				match[i] = true
+				any = true
+			}
+		}
+		if any {
+			for i, dc := range seg.rows {
+				if match[dc] {
+					out = append(out, off+i)
+				}
+			}
+		}
+		off += len(seg.rows)
+	}
+	for i, dc := range s.tailRows {
+		if val := s.tailVals[dc]; lo <= val && val < hi {
+			out = append(out, off+i)
+		}
+	}
+	return out
+}
+
+// ScanEqScalar is the pre-kernel ScanEq: one Vector.Get interface call per
+// main row, no zone pruning. Retained as the differential-testing oracle
+// for the vectorized path and as the benchmark baseline it is gated
+// against.
+func (s *Snapshot) ScanEqScalar(value string, out []int) []int {
+	v := s.v
+	s.locates++
+	if id, found := v.dict.Locate(value); found {
+		for row := 0; row < v.nMain; row++ {
+			if uint32(v.codes.Get(row)) == id {
+				out = append(out, row)
+			}
+		}
+	}
+	return s.scanDeltaEq(value, out)
+}
+
+// ScanRangeScalar is the per-element Get oracle for ScanRange.
+func (s *Snapshot) ScanRangeScalar(lo, hi string, out []int) []int {
+	v := s.v
+	s.locates += 2
+	loID, _ := v.dict.Locate(lo)
+	hiID, _ := v.dict.Locate(hi)
+	if loID < hiID {
+		for row := 0; row < v.nMain; row++ {
+			if code := uint32(v.codes.Get(row)); loID <= code && code < hiID {
+				out = append(out, row)
+			}
+		}
+	}
+	return s.scanDeltaRange(lo, hi, out)
 }

@@ -58,22 +58,79 @@ func (d *arrayDict) AppendExtract(dst []byte, id uint32) []byte {
 	return out
 }
 
-func (d *arrayDict) Locate(s string) (uint32, bool) {
-	if ec, ok := d.c.(encodedComparable); ok && schemeOrderPreserving(d.format.Scheme()) && ec.canEncodeProbe([]byte(s)) {
-		probe := ec.encodeProbe(make([]byte, 0, len(s)+8), []byte(s))
+func (d *arrayDict) Locate(s string) (uint32, bool) { return arrayLocate(d, s) }
+
+// LocateBytes is the byte-slice probe path. On the raw scheme it compares
+// the probe against the stored encodings in place — no conversion, no
+// probe buffer, no allocation at all.
+func (d *arrayDict) LocateBytes(s []byte) (uint32, bool) { return arrayLocate(d, s) }
+
+// arrayLocate serves both probe types. Raw-scheme encodings are the value
+// bytes plus a NUL terminator, so stripping the terminator lets the search
+// compare the probe against stored data directly; order-preserving
+// compressed schemes (bc, hu) binary-search on an encoded probe; everything
+// else falls back to extraction-based search.
+func arrayLocate[S ~string | ~[]byte](d *arrayDict, s S) (uint32, bool) {
+	if d.format.Scheme() == SchemeNone {
 		lo, hi := 0, d.n
 		for lo < hi {
 			mid := int(uint(lo+hi) >> 1)
-			if bytes.Compare(d.encoded(uint32(mid)), probe) < 0 {
+			e := d.encoded(uint32(mid))
+			if cmpProbe(e[:len(e)-1], s) < 0 {
 				lo = mid + 1
 			} else {
 				hi = mid
 			}
 		}
-		found := lo < d.n && bytes.Equal(d.encoded(uint32(lo)), probe)
-		return uint32(lo), found
+		if lo < d.n {
+			e := d.encoded(uint32(lo))
+			if cmpProbe(e[:len(e)-1], s) == 0 {
+				return uint32(lo), true
+			}
+		}
+		return uint32(lo), false
+	}
+	if ec, ok := d.c.(encodedComparable); ok && schemeOrderPreserving(d.format.Scheme()) {
+		if sb := []byte(s); ec.canEncodeProbe(sb) {
+			probe := ec.encodeProbe(make([]byte, 0, len(sb)+8), sb)
+			lo, hi := 0, d.n
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if bytes.Compare(d.encoded(uint32(mid)), probe) < 0 {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			found := lo < d.n && bytes.Equal(d.encoded(uint32(lo)), probe)
+			return uint32(lo), found
+		}
 	}
 	return locateByExtract(d, d.n, s)
+}
+
+// cmpProbe three-way compares stored bytes against a probe of either type
+// without converting or allocating.
+func cmpProbe[S ~string | ~[]byte](b []byte, s S) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
 }
 
 func (d *arrayDict) Len() int       { return d.n }
@@ -126,7 +183,13 @@ func (d *arrayFixed) AppendExtract(dst []byte, id uint32) []byte {
 	return append(dst, s...)
 }
 
-func (d *arrayFixed) Locate(s string) (uint32, bool) {
+func (d *arrayFixed) Locate(s string) (uint32, bool) { return fixedLocate(d, s) }
+
+// LocateBytes is the allocation-free byte-slice probe path: slots are
+// compared against the probe bytes in place.
+func (d *arrayFixed) LocateBytes(s []byte) (uint32, bool) { return fixedLocate(d, s) }
+
+func fixedLocate[S ~string | ~[]byte](d *arrayFixed, s S) (uint32, bool) {
 	// Padded slots compare exactly like the original strings because the
 	// padding byte 0 sorts below every allowed character.
 	lo, hi := 0, d.n
@@ -142,8 +205,8 @@ func (d *arrayFixed) Locate(s string) (uint32, bool) {
 	return uint32(lo), found
 }
 
-// compareSlot compares a zero-padded slot against a plain string.
-func compareSlot(slot []byte, s string) int {
+// compareSlot compares a zero-padded slot against a plain probe.
+func compareSlot[S ~string | ~[]byte](slot []byte, s S) int {
 	n := len(s)
 	if len(slot) < n {
 		n = len(slot)
@@ -178,14 +241,15 @@ func (d *arrayFixed) Bytes() uint64 {
 
 // locateByExtract is the generic locate: binary search over value IDs,
 // extracting the probe positions. Correct for every format because all
-// formats are order-preserving.
-func locateByExtract(d Dictionary, n int, s string) (uint32, bool) {
+// formats are order-preserving. The probe is compared as raw bytes, so
+// byte-slice probes never convert.
+func locateByExtract[S ~string | ~[]byte](d Dictionary, n int, s S) (uint32, bool) {
 	var buf []byte
 	lo, hi := 0, n
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		buf = d.AppendExtract(buf[:0], uint32(mid))
-		if string(buf) < s {
+		if cmpProbe(buf, s) < 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -193,7 +257,7 @@ func locateByExtract(d Dictionary, n int, s string) (uint32, bool) {
 	}
 	if lo < n {
 		buf = d.AppendExtract(buf[:0], uint32(lo))
-		if string(buf) == s {
+		if cmpProbe(buf, s) == 0 {
 			return uint32(lo), true
 		}
 	}

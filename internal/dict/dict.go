@@ -301,6 +301,27 @@ func GenericLocate(d Dictionary, s string) (uint32, bool) {
 	return locateByExtract(d, d.Len(), s)
 }
 
+// ByteLocator is implemented by dictionary formats with a native byte-slice
+// locate: the same Definition 1 semantics as Locate, without converting the
+// probe to a string. The array and front-coding classes implement it
+// allocation-free on their raw schemes.
+type ByteLocator interface {
+	LocateBytes(b []byte) (id uint32, found bool)
+}
+
+// LocateBytes is Locate with a byte-slice probe — the scan and
+// dictionary-translation fast path, where probes arrive as reused []byte
+// buffers and a string(buf) conversion per probe is pure allocator traffic.
+// Formats implementing ByteLocator answer natively; the rest fall back to
+// the extraction-based binary search, which compares bytes directly and
+// never converts.
+func LocateBytes(d Dictionary, b []byte) (uint32, bool) {
+	if bl, ok := d.(ByteLocator); ok {
+		return bl.LocateBytes(b)
+	}
+	return locateByExtract(d, d.Len(), b)
+}
+
 // BuildWithFCBlockSize builds a front-coding format with a non-default
 // block size (the default is DefaultFCBlockSize). Used by the block-size
 // ablation; non-front-coded formats return an error.

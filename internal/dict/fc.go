@@ -238,7 +238,14 @@ func (d *fcDict) firstOfBlock(dst []byte, b int) []byte {
 	}
 }
 
-func (d *fcDict) Locate(s string) (uint32, bool) {
+func (d *fcDict) Locate(s string) (uint32, bool) { return fcLocate(d, s) }
+
+// LocateBytes is the byte-slice probe path: block firsts and in-block
+// strings are compared against the probe bytes directly, with no string
+// conversion.
+func (d *fcDict) LocateBytes(s []byte) (uint32, bool) { return fcLocate(d, s) }
+
+func fcLocate[S ~string | ~[]byte](d *fcDict, s S) (uint32, bool) {
 	if d.n == 0 {
 		return 0, false
 	}
@@ -249,7 +256,7 @@ func (d *fcDict) Locate(s string) (uint32, bool) {
 	for lo < hi {
 		mid := int(uint(lo+hi+1) >> 1)
 		buf = d.firstOfBlock(buf[:0], mid)
-		if string(buf) <= s {
+		if cmpProbe(buf, s) <= 0 {
 			lo = mid
 		} else {
 			hi = mid - 1
@@ -257,7 +264,7 @@ func (d *fcDict) Locate(s string) (uint32, bool) {
 	}
 	b := lo
 	buf = d.firstOfBlock(buf[:0], b)
-	if b == 0 && string(buf) > s {
+	if b == 0 && cmpProbe(buf, s) > 0 {
 		return 0, false
 	}
 	// Walk the block. Decoding sequentially is how front coding pays for
@@ -266,10 +273,10 @@ func (d *fcDict) Locate(s string) (uint32, bool) {
 	k := bhi - blo
 	for i := 0; i < k; i++ {
 		buf = d.extractInBlock(buf[:0], b, i)
-		switch {
-		case string(buf) == s:
+		switch c := cmpProbe(buf, s); {
+		case c == 0:
 			return uint32(blo + i), true
-		case string(buf) > s:
+		case c > 0:
 			return uint32(blo + i), false
 		}
 	}

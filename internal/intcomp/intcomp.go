@@ -29,6 +29,14 @@ type Vector interface {
 	Len() int
 	// Bytes returns the in-memory footprint.
 	Bytes() uint64
+	// AppendRange appends elements [start, start+n) to dst and returns the
+	// extended slice — the bulk-decode contract of the vectorized read
+	// path. Implementations amortize their per-element access state (word
+	// cursors for bit packing, run cursors for RLE, frame bases for FOR,
+	// part dispatch for concatenations) across the whole range, so batch
+	// unpacking 64-256 elements per call runs several times faster than a
+	// Get-per-element loop. Out-of-range [start, start+n) panics.
+	AppendRange(dst []uint64, start, n int) []uint64
 }
 
 // packedVector is fixed-width bit packing.
@@ -44,6 +52,10 @@ func PackBits(values []uint64) Vector {
 func (v packedVector) Get(i int) uint64 { return v.pa.Get(i) }
 func (v packedVector) Len() int         { return v.pa.Len() }
 func (v packedVector) Bytes() uint64    { return v.pa.Bytes() + 16 }
+
+func (v packedVector) AppendRange(dst []uint64, start, n int) []uint64 {
+	return v.pa.AppendRange(dst, start, n)
+}
 
 // rleVector stores (start, value) per run; Get binary-searches the starts.
 type rleVector struct {
@@ -70,7 +82,8 @@ func PackRLE(values []uint64) Vector {
 
 func (v rleVector) Len() int { return v.n }
 
-func (v rleVector) Get(i int) uint64 {
+// runAt returns the index of the run containing element i.
+func (v rleVector) runAt(i int) int {
 	// Find the last run starting at or before i.
 	lo, hi := 0, v.starts.Len()-1
 	for lo < hi {
@@ -81,7 +94,40 @@ func (v rleVector) Get(i int) uint64 {
 			hi = mid - 1
 		}
 	}
-	return v.values.Get(lo)
+	return lo
+}
+
+// runEnd returns the exclusive end position of run r.
+func (v rleVector) runEnd(r int) int {
+	if r+1 < v.starts.Len() {
+		return int(v.starts.Get(r + 1))
+	}
+	return v.n
+}
+
+func (v rleVector) Get(i int) uint64 {
+	return v.values.Get(v.runAt(i))
+}
+
+func (v rleVector) AppendRange(dst []uint64, start, n int) []uint64 {
+	checkVectorRange(v.n, start, n)
+	if n == 0 {
+		return dst
+	}
+	// One binary search for the first run, then a linear run cursor: each
+	// element costs a copy instead of the O(log runs) search Get re-runs.
+	pos, end := start, start+n
+	for r := v.runAt(start); pos < end; r++ {
+		re := v.runEnd(r)
+		if re > end {
+			re = end
+		}
+		val := v.values.Get(r)
+		for ; pos < re; pos++ {
+			dst = append(dst, val)
+		}
+	}
+	return dst
 }
 
 func (v rleVector) Bytes() uint64 {
@@ -91,17 +137,93 @@ func (v rleVector) Bytes() uint64 {
 // PackAuto returns the smallest of bit packing, run-length encoding and
 // frame-of-reference packing for the given values. Empty input yields an
 // empty bit-packed vector.
+//
+// It runs on every segment seal and merge, so it does not materialize the
+// three candidates: one pass over the input collects the run count, the
+// global min/max and the per-frame min/max, from which each candidate's
+// exact footprint follows, and only the winner is built. Ties resolve in
+// the order bits, RLE, FOR — the same preference the build-all-and-compare
+// implementation had.
 func PackAuto(values []uint64) Vector {
-	best := PackBits(values)
-	if len(values) == 0 {
-		return best
+	n := len(values)
+	if n == 0 {
+		return PackBits(values)
 	}
-	for _, alt := range []Vector{PackRLE(values), PackFOR(values)} {
-		if alt.Bytes() < best.Bytes() {
-			best = alt
+
+	nframes := (n + forFrameSize - 1) / forFrameSize
+	frameMin := make([]uint64, nframes)
+	frameMax := make([]uint64, nframes)
+	runs := 1
+	lastRunStart := 0
+	max := values[0]
+	for f := 0; f < nframes; f++ {
+		lo := f * forFrameSize
+		hi := lo + forFrameSize
+		if hi > n {
+			hi = n
+		}
+		fmin, fmax := values[lo], values[lo]
+		if lo > 0 && values[lo-1] != values[lo] {
+			runs++
+			lastRunStart = lo
+		}
+		for i := lo + 1; i < hi; i++ {
+			v := values[i]
+			if v < fmin {
+				fmin = v
+			}
+			if v > fmax {
+				fmax = v
+			}
+			if values[i-1] != v {
+				runs++
+				lastRunStart = i
+			}
+		}
+		frameMin[f], frameMax[f] = fmin, fmax
+		if fmax > max {
+			max = fmax
 		}
 	}
-	return best
+
+	// Candidate footprints, mirroring each vector kind's Bytes() exactly.
+	// The maximum run value equals the global maximum: the largest element
+	// is the value of whichever run holds it.
+	bitsSize := packedArrayBytes(n, bits.Width(max)) + 16
+	rleSize := packedArrayBytes(runs, bits.Width(uint64(lastRunStart))) +
+		packedArrayBytes(runs, bits.Width(max)) + 32
+	var maxBase uint64
+	for _, b := range frameMin {
+		if b > maxBase {
+			maxBase = b
+		}
+	}
+	forSize := packedArrayBytes(nframes, bits.Width(maxBase)) + uint64(nframes) + 48
+	for f := 0; f < nframes; f++ {
+		if frameMax[f] == frameMin[f] {
+			continue
+		}
+		flen := forFrameSize
+		if (f+1)*forFrameSize > n {
+			flen = n - f*forFrameSize
+		}
+		forSize += packedArrayBytes(flen, bits.Width(frameMax[f]-frameMin[f])) + 16
+	}
+
+	switch {
+	case rleSize < bitsSize && rleSize <= forSize:
+		return PackRLE(values)
+	case forSize < bitsSize && forSize < rleSize:
+		return PackFOR(values)
+	default:
+		return PackBits(values)
+	}
+}
+
+// packedArrayBytes is the footprint bits.PackSlice(values).Bytes() reports
+// for n entries of the given width.
+func packedArrayBytes(n int, width uint) uint64 {
+	return (uint64(n)*uint64(width) + 63) / 64 * 8
 }
 
 // concatVector presents a sequence of part vectors as one logical vector.
@@ -159,7 +281,8 @@ func Concat(a, b Vector) Vector {
 
 func (v *concatVector) Len() int { return v.n }
 
-func (v *concatVector) Get(i int) uint64 {
+// partAt returns the index of the part containing logical element i.
+func (v *concatVector) partAt(i int) int {
 	// Find the last part starting at or before i.
 	lo, hi := 0, len(v.offs)-1
 	for lo < hi {
@@ -170,7 +293,34 @@ func (v *concatVector) Get(i int) uint64 {
 			hi = mid - 1
 		}
 	}
-	return v.parts[lo].Get(i - v.offs[lo])
+	return lo
+}
+
+// partEnd returns the exclusive logical end position of part p.
+func (v *concatVector) partEnd(p int) int {
+	if p+1 < len(v.offs) {
+		return v.offs[p+1]
+	}
+	return v.n
+}
+
+func (v *concatVector) Get(i int) uint64 {
+	p := v.partAt(i)
+	return v.parts[p].Get(i - v.offs[p])
+}
+
+func (v *concatVector) AppendRange(dst []uint64, start, n int) []uint64 {
+	checkVectorRange(v.n, start, n)
+	pos, end := start, start+n
+	for p := v.partAt(start); pos < end; p++ {
+		pe := v.partEnd(p)
+		if pe > end {
+			pe = end
+		}
+		dst = v.parts[p].AppendRange(dst, pos-v.offs[p], pe-pos)
+		pos = pe
+	}
+	return dst
 }
 
 func (v *concatVector) Bytes() uint64 {
@@ -244,6 +394,50 @@ func (v *forVector) Get(i int) uint64 {
 		return base
 	}
 	return base + v.offsets[f].Get(i%v.frameSize)
+}
+
+// frameLen returns the number of elements in frame f (the last frame may be
+// short).
+func (v *forVector) frameLen(f int) int {
+	if (f+1)*v.frameSize <= v.n {
+		return v.frameSize
+	}
+	return v.n - f*v.frameSize
+}
+
+func (v *forVector) AppendRange(dst []uint64, start, n int) []uint64 {
+	checkVectorRange(v.n, start, n)
+	for n > 0 {
+		f := start / v.frameSize
+		fo := start % v.frameSize
+		k := v.frameLen(f) - fo
+		if k > n {
+			k = n
+		}
+		base := v.bases.Get(f)
+		if v.widths[f] == 0 {
+			for i := 0; i < k; i++ {
+				dst = append(dst, base)
+			}
+		} else {
+			m := len(dst)
+			dst = v.offsets[f].AppendRange(dst, fo, k)
+			for i := m; i < len(dst); i++ {
+				dst[i] += base
+			}
+		}
+		start += k
+		n -= k
+	}
+	return dst
+}
+
+// checkVectorRange panics unless [start, start+n) lies within a vector of
+// the given length.
+func checkVectorRange(length, start, n int) {
+	if start < 0 || n < 0 || start > length-n {
+		panic("intcomp: vector range out of bounds")
+	}
 }
 
 func (v *forVector) Bytes() uint64 {

@@ -1,0 +1,348 @@
+package intcomp
+
+// Predicate kernels over compressed vectors: equality and range scans that
+// emit matching row indices without fully unpacking the vector. Each vector
+// kind gets the cheapest strategy its representation permits — word-at-a-time
+// SWAR comparison for bit-packed data whose width tiles 64-bit words, whole
+// runs at a time for RLE, per-frame base rebasing for FOR, and per-part
+// recursion for concatenations — with a batch-unpack-then-compare fallback
+// for everything else. The scalar Get-per-element forms are kept as the
+// differential-testing oracle and the benchmark baseline.
+
+// kernelChunk is the stack-buffer size of the generic unpack-then-compare
+// fallback paths.
+const kernelChunk = 256
+
+// ScanEq appends the index of every element in [start, start+n) equal to
+// code to dst, in ascending order, and returns the extended slice.
+// Out-of-range [start, start+n) panics.
+func ScanEq(v Vector, code uint64, start, n int, dst []int) []int {
+	checkVectorRange(v.Len(), start, n)
+	return scanEq(v, code, start, n, 0, dst)
+}
+
+// ScanRange appends the index of every element in [start, start+n) with
+// lo <= value < hi to dst, in ascending order, and returns the extended
+// slice. Out-of-range [start, start+n) panics.
+func ScanRange(v Vector, lo, hi uint64, start, n int, dst []int) []int {
+	checkVectorRange(v.Len(), start, n)
+	if lo >= hi {
+		return dst
+	}
+	return scanRange(v, lo, hi, start, n, 0, dst)
+}
+
+// CountEq returns the number of elements in [start, start+n) equal to code.
+// Out-of-range [start, start+n) panics.
+func CountEq(v Vector, code uint64, start, n int) int {
+	checkVectorRange(v.Len(), start, n)
+	return countEq(v, code, start, n)
+}
+
+// scanEq dispatches on the concrete vector kind. Emitted indices are
+// base-relative (base + elementIndex) so concat parts and FOR frames can
+// translate positions without rewriting their children's output.
+func scanEq(v Vector, code uint64, start, n int, base int, dst []int) []int {
+	if n == 0 {
+		return dst
+	}
+	switch v := v.(type) {
+	case packedVector:
+		return v.pa.AppendMatchEq(dst, base, start, n, code)
+	case rleVector:
+		// Whole runs match or don't: emit each matching run's clipped
+		// interval without touching per-element data.
+		pos, end := start, start+n
+		for r := v.runAt(start); pos < end; r++ {
+			re := v.runEnd(r)
+			if re > end {
+				re = end
+			}
+			if v.values.Get(r) == code {
+				for ; pos < re; pos++ {
+					dst = append(dst, base+pos)
+				}
+			} else {
+				pos = re
+			}
+		}
+		return dst
+	case *forVector:
+		for n > 0 {
+			f := start / v.frameSize
+			fo := start % v.frameSize
+			k := v.frameLen(f) - fo
+			if k > n {
+				k = n
+			}
+			fb := v.bases.Get(f)
+			switch {
+			case code < fb:
+				// Below the frame minimum: no element can match.
+			case v.widths[f] == 0:
+				if code == fb { // constant frame: all or nothing
+					for i := 0; i < k; i++ {
+						dst = append(dst, base+start+i)
+					}
+				}
+			default:
+				// AppendMatchEq rejects offsets wider than the frame itself.
+				dst = v.offsets[f].AppendMatchEq(dst, base+f*v.frameSize, fo, k, code-fb)
+			}
+			start += k
+			n -= k
+		}
+		return dst
+	case *concatVector:
+		pos, end := start, start+n
+		for p := v.partAt(start); pos < end; p++ {
+			pe := v.partEnd(p)
+			if pe > end {
+				pe = end
+			}
+			dst = scanEq(v.parts[p], code, pos-v.offs[p], pe-pos, base+v.offs[p], dst)
+			pos = pe
+		}
+		return dst
+	default:
+		return scanEqGeneric(v, code, start, n, base, dst)
+	}
+}
+
+// scanEqGeneric is the batch-unpack-then-compare fallback for vector kinds
+// without a specialized kernel.
+func scanEqGeneric(v Vector, code uint64, start, n int, base int, dst []int) []int {
+	var buf [kernelChunk]uint64
+	for o := 0; o < n; {
+		k := n - o
+		if k > kernelChunk {
+			k = kernelChunk
+		}
+		tmp := v.AppendRange(buf[:0], start+o, k)
+		for j, x := range tmp {
+			if x == code {
+				dst = append(dst, base+start+o+j)
+			}
+		}
+		o += k
+	}
+	return dst
+}
+
+// scanRange mirrors scanEq for half-open value intervals [lo, hi).
+func scanRange(v Vector, lo, hi uint64, start, n int, base int, dst []int) []int {
+	if n == 0 {
+		return dst
+	}
+	switch v := v.(type) {
+	case packedVector:
+		return v.pa.AppendMatchRange(dst, base, start, n, lo, hi)
+	case rleVector:
+		pos, end := start, start+n
+		for r := v.runAt(start); pos < end; r++ {
+			re := v.runEnd(r)
+			if re > end {
+				re = end
+			}
+			if x := v.values.Get(r); lo <= x && x < hi {
+				for ; pos < re; pos++ {
+					dst = append(dst, base+pos)
+				}
+			} else {
+				pos = re
+			}
+		}
+		return dst
+	case *forVector:
+		for n > 0 {
+			f := start / v.frameSize
+			fo := start % v.frameSize
+			k := v.frameLen(f) - fo
+			if k > n {
+				k = n
+			}
+			fb := v.bases.Get(f)
+			switch {
+			case hi <= fb:
+				// Every frame value is >= fb, outside [lo, hi).
+			case v.widths[f] == 0:
+				if lo <= fb { // constant frame; hi > fb already known
+					for i := 0; i < k; i++ {
+						dst = append(dst, base+start+i)
+					}
+				}
+			default:
+				olo := uint64(0)
+				if lo > fb {
+					olo = lo - fb
+				}
+				dst = v.offsets[f].AppendMatchRange(dst, base+f*v.frameSize, fo, k, olo, hi-fb)
+			}
+			start += k
+			n -= k
+		}
+		return dst
+	case *concatVector:
+		pos, end := start, start+n
+		for p := v.partAt(start); pos < end; p++ {
+			pe := v.partEnd(p)
+			if pe > end {
+				pe = end
+			}
+			dst = scanRange(v.parts[p], lo, hi, pos-v.offs[p], pe-pos, base+v.offs[p], dst)
+			pos = pe
+		}
+		return dst
+	default:
+		var buf [kernelChunk]uint64
+		for o := 0; o < n; {
+			k := n - o
+			if k > kernelChunk {
+				k = kernelChunk
+			}
+			tmp := v.AppendRange(buf[:0], start+o, k)
+			for j, x := range tmp {
+				if lo <= x && x < hi {
+					dst = append(dst, base+start+o+j)
+				}
+			}
+			o += k
+		}
+		return dst
+	}
+}
+
+// countEq mirrors scanEq but only counts, letting the packed path use one
+// popcount per word instead of iterating match bits.
+func countEq(v Vector, code uint64, start, n int) int {
+	if n == 0 {
+		return 0
+	}
+	switch v := v.(type) {
+	case packedVector:
+		return v.pa.CountEq(start, n, code)
+	case rleVector:
+		count := 0
+		pos, end := start, start+n
+		for r := v.runAt(start); pos < end; r++ {
+			re := v.runEnd(r)
+			if re > end {
+				re = end
+			}
+			if v.values.Get(r) == code {
+				count += re - pos
+			}
+			pos = re
+		}
+		return count
+	case *forVector:
+		count := 0
+		for n > 0 {
+			f := start / v.frameSize
+			fo := start % v.frameSize
+			k := v.frameLen(f) - fo
+			if k > n {
+				k = n
+			}
+			fb := v.bases.Get(f)
+			switch {
+			case code < fb:
+			case v.widths[f] == 0:
+				if code == fb {
+					count += k
+				}
+			default:
+				count += v.offsets[f].CountEq(fo, k, code-fb)
+			}
+			start += k
+			n -= k
+		}
+		return count
+	case *concatVector:
+		count := 0
+		pos, end := start, start+n
+		for p := v.partAt(start); pos < end; p++ {
+			pe := v.partEnd(p)
+			if pe > end {
+				pe = end
+			}
+			count += countEq(v.parts[p], code, pos-v.offs[p], pe-pos)
+			pos = pe
+		}
+		return count
+	default:
+		var buf [kernelChunk]uint64
+		count := 0
+		for o := 0; o < n; {
+			k := n - o
+			if k > kernelChunk {
+				k = kernelChunk
+			}
+			tmp := v.AppendRange(buf[:0], start+o, k)
+			for _, x := range tmp {
+				if x == code {
+					count++
+				}
+			}
+			o += k
+		}
+		return count
+	}
+}
+
+// MinMax returns the minimum and maximum element of [start, start+n).
+// n must be positive; out-of-range panics. It backs zone-map construction
+// when only the compressed vector is available (crash recovery).
+func MinMax(v Vector, start, n int) (min, max uint64) {
+	checkVectorRange(v.Len(), start, n)
+	if n <= 0 {
+		panic("intcomp: MinMax of empty range")
+	}
+	var buf [kernelChunk]uint64
+	first := true
+	for o := 0; o < n; {
+		k := n - o
+		if k > kernelChunk {
+			k = kernelChunk
+		}
+		tmp := v.AppendRange(buf[:0], start+o, k)
+		for _, x := range tmp {
+			if first {
+				min, max, first = x, x, false
+				continue
+			}
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		o += k
+	}
+	return min, max
+}
+
+// ScanEqScalar is the per-element Get baseline for ScanEq: the pre-kernel
+// read path, retained as the differential-testing oracle and the benchmark
+// baseline the vectorized path is gated against.
+func ScanEqScalar(v Vector, code uint64, start, n int, dst []int) []int {
+	checkVectorRange(v.Len(), start, n)
+	for i := start; i < start+n; i++ {
+		if v.Get(i) == code {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// ScanRangeScalar is the per-element Get baseline for ScanRange.
+func ScanRangeScalar(v Vector, lo, hi uint64, start, n int, dst []int) []int {
+	checkVectorRange(v.Len(), start, n)
+	for i := start; i < start+n; i++ {
+		if x := v.Get(i); lo <= x && x < hi {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

@@ -100,10 +100,10 @@ func TestUnmarshalRejectsCorrupt(t *testing.T) {
 		nil,
 		{},
 		{vectorVersion},
-		{99, tagPacked},          // bad version
-		{vectorVersion, 77},      // bad tag
-		{vectorVersion, tagRLE},  // truncated header
-		{vectorVersion, tagFOR},  // truncated header
+		{99, tagPacked},                        // bad version
+		{vectorVersion, 77},                    // bad tag
+		{vectorVersion, tagRLE},                // truncated header
+		{vectorVersion, tagFOR},                // truncated header
 		{vectorVersion, tagConcat, 0, 0, 0, 0}, // empty concat
 	}
 	for i, c := range cases {

@@ -33,38 +33,72 @@ func q1(s *colstore.Store) *Result {
 	ls := lt.Str("l_linestatus")
 	cutoff := Date("1998-12-01") - 90
 
+	// Both grouping columns are scanned through one snapshot each, so codes
+	// stay consistent with the final Extract even if a merge republishes the
+	// column mid-query. Main-part codes come out of the vector in chunks of
+	// groupChunk via AppendCodeRange instead of one Vector.Get per row; the
+	// (rare) unmerged delta rows keep the per-row Code fallback with its
+	// original "delta rows group as code 0" behavior.
+	const groupChunk = 256
+	srf, sls := rf.Snapshot(), ls.Snapshot()
+	defer srf.Release()
+	defer sls.Release()
+	nMain := srf.MainRows()
+	if m := sls.MainRows(); m < nMain {
+		nMain = m
+	}
+
 	type agg struct {
 		qty, base, discounted, charge, discSum float64
 		n                                      int
 	}
 	groups := make(map[uint64]*agg)
-	for row := 0; row < lt.Rows(); row++ {
-		if ship.Get(row) > cutoff {
-			continue
+	var rfBuf, lsBuf [groupChunk]uint64
+	total := lt.Rows()
+	for base := 0; base < total; base += groupChunk {
+		k := total - base
+		if k > groupChunk {
+			k = groupChunk
 		}
-		rc, _ := rf.Code(row)
-		lc, _ := ls.Code(row)
-		k := uint64(rc)<<32 | uint64(lc)
-		a := groups[k]
-		if a == nil {
-			a = &agg{}
-			groups[k] = a
+		var rfCodes, lsCodes []uint64
+		if base+k <= nMain {
+			rfCodes = srf.AppendCodeRange(rfBuf[:0], base, k)
+			lsCodes = sls.AppendCodeRange(lsBuf[:0], base, k)
 		}
-		q, e, d, t := qty.Get(row), ext.Get(row), disc.Get(row), tax.Get(row)
-		a.qty += q
-		a.base += e
-		a.discounted += e * (1 - d)
-		a.charge += e * (1 - d) * (1 + t)
-		a.discSum += d
-		a.n++
+		for j := 0; j < k; j++ {
+			row := base + j
+			if ship.Get(row) > cutoff {
+				continue
+			}
+			var gk uint64
+			if rfCodes != nil {
+				gk = rfCodes[j]<<32 | lsCodes[j]
+			} else {
+				rc, _ := srf.Code(row)
+				lc, _ := sls.Code(row)
+				gk = uint64(rc)<<32 | uint64(lc)
+			}
+			a := groups[gk]
+			if a == nil {
+				a = &agg{}
+				groups[gk] = a
+			}
+			q, e, d, t := qty.Get(row), ext.Get(row), disc.Get(row), tax.Get(row)
+			a.qty += q
+			a.base += e
+			a.discounted += e * (1 - d)
+			a.charge += e * (1 - d) * (1 + t)
+			a.discSum += d
+			a.n++
+		}
 	}
 
 	var rows [][]string
 	for k, a := range groups {
 		n := float64(a.n)
 		rows = append(rows, []string{
-			rf.Extract(uint32(k >> 32)),
-			ls.Extract(uint32(k & 0xffffffff)),
+			srf.Extract(uint32(k >> 32)),
+			sls.Extract(uint32(k & 0xffffffff)),
 			f2(a.qty), f2(a.base), f2(a.discounted), f2(a.charge),
 			f2(a.qty / n), f2(a.base / n), f2(a.discSum / n),
 			strconvItoa(a.n),

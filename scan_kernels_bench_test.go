@@ -1,0 +1,90 @@
+package strdict_test
+
+import (
+	"fmt"
+	"testing"
+
+	"strdict/internal/colstore"
+	"strdict/internal/dict"
+)
+
+// BenchmarkScanKernels gates the vectorized read path: predicate scans over
+// the packed code vector via the batch kernels (SWAR equality, range
+// compare, zone-map pruning) against the pre-kernel scalar path that paid
+// one Vector.Get interface call per row.
+//
+// Two column shapes:
+//   - uniform: ~250 distinct values shuffled evenly — bit-packed vector,
+//     every zone spans the whole domain, so this measures the raw kernel
+//     (no pruning help).
+//   - clustered: the same values sorted — run-length vector whose zones have
+//     tight disjoint bounds, so a selective probe skips almost every zone.
+func BenchmarkScanKernels(b *testing.B) {
+	const (
+		rows     = 1 << 18
+		distinct = 250
+	)
+	value := func(code int) string { return fmt.Sprintf("val-%04d", code) }
+
+	build := func(order func(i int) int) (*colstore.StringColumn, *colstore.Snapshot) {
+		col := colstore.NewStringColumn("bench.scan", dict.Array)
+		for i := 0; i < rows; i++ {
+			col.Append(value(order(i)))
+		}
+		col.Merge(dict.Array)
+		return col, col.Snapshot()
+	}
+	uniformCol, uniform := build(func(i int) int { return (i * 2654435761) % distinct })
+	clusteredCol, clustered := build(func(i int) int { return i / (rows / distinct) })
+	defer uniform.Release()
+	defer clustered.Release()
+	_ = uniformCol
+
+	probe := value(distinct / 2)
+	loVal, hiVal := value(distinct/2), value(distinct/2+8)
+	var out []int
+
+	b.Run("eq/scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = uniform.ScanEqScalar(probe, out[:0])
+		}
+	})
+	b.Run("eq/kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = uniform.ScanEq(probe, out[:0])
+		}
+	})
+	b.Run("eq/kernel-pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		clustered.Release() // flush so the stats delta below is exact
+		before := clusteredCol.ScanStats()
+		for i := 0; i < b.N; i++ {
+			out = clustered.ScanEq(probe, out[:0])
+		}
+		clustered.Release()
+		delta := clusteredCol.ScanStats()
+		b.ReportMetric(float64(delta.ZonesSkipped-before.ZonesSkipped)/float64(b.N), "zones-skipped/op")
+	})
+	b.Run("range/scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = uniform.ScanRangeScalar(loVal, hiVal, out[:0])
+		}
+	})
+	b.Run("range/kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = uniform.ScanRange(loVal, hiVal, out[:0])
+		}
+	})
+	b.Run("count/kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = uniform.CountEq(probe)
+		}
+		_ = n
+	})
+}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Scan-kernel benchmark gate: runs BenchmarkScanKernels (packed-domain
+# equality/range kernels and zone-map pruning vs the per-element scalar
+# oracle), then writes BENCH_scan_kernels.json at the repo root.
+# Headline numbers: speedup_eq — the SWAR equality kernel must be >= 4x the
+# scalar Get loop — and zones_skipped_per_op, which must be > 0 on the
+# selective clustered probe (the zone maps actually prune).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_scan_kernels.txt
+go test -run '^$' -bench BenchmarkScanKernels -benchtime=2s -count=1 . | tee "$out"
+
+awk '
+/^BenchmarkScanKernels\// {
+    name = $1
+    sub(/^BenchmarkScanKernels\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    nsop[name] = $3
+    order[n++] = name
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "zones-skipped/op") zskip = $i
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"scan_kernels\",\n"
+    printf "  \"ns_per_op\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], nsop[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"speedup_eq\": %.3f,\n", nsop["eq/scalar"] / nsop["eq/kernel"]
+    printf "  \"speedup_eq_pruned\": %.3f,\n", nsop["eq/scalar"] / nsop["eq/kernel-pruned"]
+    printf "  \"speedup_range\": %.3f,\n", nsop["range/scalar"] / nsop["range/kernel"]
+    printf "  \"zones_skipped_per_op\": %.2f\n", zskip
+    printf "}\n"
+}' "$out" > BENCH_scan_kernels.json
+rm -f "$out"
+
+cat BENCH_scan_kernels.json
+
+# Gates: equality kernel >= 4x scalar, and the clustered probe skips zones.
+awk -F': ' '
+/"speedup_eq":/ {
+    gsub(/[,\n ]/, "", $2)
+    if ($2 + 0 < 4.0) {
+        printf "FAIL: eq-scan kernel speedup %.3f < 4x over scalar Get loop\n", $2
+        fail = 1
+    } else {
+        printf "OK: eq-scan kernel speedup %.3f >= 4x over scalar Get loop\n", $2
+    }
+}
+/"zones_skipped_per_op"/ {
+    gsub(/[,\n ]/, "", $2)
+    if ($2 + 0 <= 0) {
+        printf "FAIL: selective probe skipped %s zones, want > 0\n", $2
+        fail = 1
+    } else {
+        printf "OK: selective probe skips %.2f zones/op\n", $2
+    }
+}
+END { exit fail }
+' BENCH_scan_kernels.json

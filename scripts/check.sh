@@ -17,6 +17,20 @@ go test -race ./...
 go test -run '^$' -fuzz FuzzUnmarshalPacked -fuzztime 5s ./internal/intcomp/
 go test -run '^$' -fuzz FuzzUnmarshal -fuzztime 5s ./internal/dict/
 
+# Scan-kernel smoke: the batch predicate kernels must stay bit-identical to
+# the scalar Get oracle across random vectors, probes and subranges.
+go test -run '^$' -fuzz FuzzScanKernels -fuzztime 5s ./internal/intcomp/
+
+# Scan-kernel floor: if the benchmark gate has been run, hold its headline
+# numbers — equality kernel >= 4x scalar, selective probes actually skipping
+# zones. (make bench regenerates BENCH_scan_kernels.json.)
+if [ -f BENCH_scan_kernels.json ]; then
+    awk -F': ' '
+    /"speedup_eq":/ { gsub(/[, ]/, "", $2); if ($2 + 0 < 4.0) { print "FAIL: scan kernel speedup floor"; exit 1 } }
+    /"zones_skipped_per_op"/ { gsub(/[, ]/, "", $2); if ($2 + 0 <= 0) { print "FAIL: zone pruning floor"; exit 1 } }
+    ' BENCH_scan_kernels.json
+fi
+
 # Registry completeness: every registered dictionary format must carry a
 # size model and a default cost-table entry (TestRegistryCompleteness), keep
 # its immutable wire ID (TestWireIDStability), and satisfy the cross-format
