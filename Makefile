@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all bench-recovery bench-formats bench-scan check
+.PHONY: all build test race vet bench bench-all bench-recovery bench-formats bench-scan check torture
 
 all: check
 
@@ -46,6 +46,17 @@ bench-formats:
 bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Tier-1 verification plus the fuzz smoke and registry-completeness gates.
+# Tier-1 verification plus the fuzz smoke, torture smoke, and
+# registry-completeness gates.
 check:
 	sh scripts/check.sh
+
+# Long torture run under the race detector. On failure the output names the
+# seed; `make torture SEED=<n>` replays that exact run, and adding the seed
+# to internal/torture/testdata/seeds.txt pins it as a regression. STEPS
+# overrides the per-seed step count.
+SEED ?= 0
+STEPS ?= 0
+torture:
+	$(GO) test -race -count=1 -v -run 'TestTortureLong' ./internal/torture/ \
+		-torture.long -torture.seed=$(SEED) -torture.steps=$(STEPS)

@@ -91,9 +91,19 @@ type MergeScheduler struct {
 	// by Close. Set before Start.
 	HighWaterMark int
 
+	// OnError, when non-nil, is invoked with the column just merged when the
+	// store's journal reports a sticky durability failure afterwards (the
+	// Journal interface has no error returns — see JournalHealth). It runs
+	// on pool workers, so it must be goroutine-safe; the same error is
+	// reported once, not once per merged column. Set before Start.
+	OnError func(column string, err error)
+
 	// tickMu serializes Tick/Flush invocations so two overlapping calls
 	// cannot dispatch the same column to two workers.
 	tickMu sync.Mutex
+
+	errMu   sync.Mutex
+	lastErr string // last journal error text reported through OnError
 
 	mu    sync.Mutex // guards stats
 	stats map[string]*colMergeState
@@ -545,6 +555,7 @@ func (m *MergeScheduler) mergeColumn(c *StringColumn, mode mergeMode) bool {
 	if m.usePartial(c, mode) {
 		res := c.MergePartialWithOptions(m.partialFoldCount(c), opts)
 		m.record(name, start, res, false)
+		m.reportJournalErr(name)
 		return res.Folded > 0
 	}
 
@@ -560,7 +571,30 @@ func (m *MergeScheduler) mergeColumn(c *StringColumn, mode mergeMode) bool {
 	}
 	res := c.MergeWithOptions(format, opts)
 	m.record(name, start, res, true)
+	m.reportJournalErr(name)
 	return res.Folded > 0
+}
+
+// reportJournalErr surfaces a sticky journal failure through OnError after
+// a merge. The journal error is store-wide and sticky, so it is reported on
+// its first observation only, not once per merged column.
+func (m *MergeScheduler) reportJournalErr(column string) {
+	if m.OnError == nil {
+		return
+	}
+	err := m.store.JournalErr()
+	if err == nil {
+		return
+	}
+	m.errMu.Lock()
+	dup := m.lastErr == err.Error()
+	if !dup {
+		m.lastErr = err.Error()
+	}
+	m.errMu.Unlock()
+	if !dup {
+		m.OnError(column, err)
+	}
 }
 
 // record books a finished merge. Merges that folded nothing leave the

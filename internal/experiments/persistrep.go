@@ -32,7 +32,15 @@ func PersistReport(w io.Writer, cfg TPCHConfig, dir string) error {
 		return err
 	}
 	t0 = time.Now()
-	ps, err := persist.Open(dir, persist.Options{})
+	// The health hook surfaces durability transitions live (retry, read-only
+	// degradation) instead of leaving them to an Err() poll at the end.
+	var healthEvents []persist.HealthEvent
+	ps, err := persist.Open(dir, persist.Options{
+		OnHealth: func(ev persist.HealthEvent) {
+			healthEvents = append(healthEvents, ev)
+			fmt.Fprintf(w, "health: %v (op=%s err=%v)\n", ev.State, ev.Op, ev.Err)
+		},
+	})
 	if err != nil {
 		return err
 	}
@@ -50,6 +58,7 @@ func PersistReport(w io.Writer, cfg TPCHConfig, dir string) error {
 	if err := ps.Err(); err != nil {
 		return err
 	}
+	health, dropped := ps.Health(), ps.DroppedRows()
 	walBytes, ckptBytes := dirSizes(dir)
 	if err := ps.Close(); err != nil {
 		return err
@@ -97,6 +106,8 @@ func PersistReport(w io.Writer, cfg TPCHConfig, dir string) error {
 		float64(rows)/float64(recovery.Milliseconds()+1))
 	fmt.Fprintf(w, "%-28s manifest=%v replayed=%d skipped=%d lost=%d torn=%dB\n", "recovery detail",
 		info.ManifestLoaded, info.ReplayedRows, info.SkippedRows, info.LostRows, info.TornBytes)
+	fmt.Fprintf(w, "%-28s %12v  (%d transitions, %d rows dropped)\n", "health",
+		health, len(healthEvents), dropped)
 	fmt.Fprintf(w, "%-28s %12v  (all queries on the recovered store)\n", "queries", queries.Round(time.Millisecond))
 	return nil
 }

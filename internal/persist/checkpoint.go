@@ -34,7 +34,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 
 	"strdict/internal/dict"
@@ -78,46 +77,8 @@ func parsePartSeq(name string) (uint64, bool) {
 	return seq, name == fmt.Sprintf("p%08d.part", seq)
 }
 
-// syncDir fsyncs a directory so a just-renamed file's name is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	cerr := d.Close()
-	if serr != nil {
-		return serr
-	}
-	return cerr
-}
-
-// writeAtomic makes data appear at path all-or-nothing: tmp file, fsync,
-// rename, directory fsync.
-func writeAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	_, werr := f.Write(data)
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp, path)
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return werr
-	}
-	return syncDir(filepath.Dir(path))
-}
-
-// Part encoding.
+// Part encoding. (Atomic file writes live in fs.go: writeAtomicFS over the
+// FS seam, so checkpoints are fault-injectable like the WAL.)
 
 func appendPartHeader(dst []byte, kind uint8, rows uint64) []byte {
 	dst = append(dst, partMagic...)

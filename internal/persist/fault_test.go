@@ -1,0 +1,225 @@
+package persist
+
+// Store-level fault injection through the FS seam: transient faults are
+// retried and absorbed, permanent faults degrade the store to read-only
+// with the health hook fired, and either way the in-memory contents stay
+// intact and recovery never regresses below the durable prefix.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// healthLog collects OnHealth events for assertions.
+type healthLog struct {
+	mu     sync.Mutex
+	events []HealthEvent
+}
+
+func (l *healthLog) hook() func(HealthEvent) {
+	return func(ev HealthEvent) {
+		l.mu.Lock()
+		l.events = append(l.events, ev)
+		l.mu.Unlock()
+	}
+}
+
+func (l *healthLog) states() []HealthState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]HealthState, len(l.events))
+	for i, ev := range l.events {
+		out[i] = ev.State
+	}
+	return out
+}
+
+// faultOpts opens a store with sync-every appends, a FaultFS, a health log
+// and fast retries.
+func faultOpts(ffs *FaultFS, log *healthLog, retryLimit int) Options {
+	return Options{
+		FsyncInterval: -1,
+		FS:            ffs,
+		OnHealth:      log.hook(),
+		RetryLimit:    retryLimit,
+		RetryBackoff:  time.Microsecond,
+	}
+}
+
+func isWALPath(path string) bool { return strings.HasSuffix(path, ".log") }
+
+// TestStoreTransientFaultRetried: a burst of fsync failures shorter than
+// the retry budget degrades and then recovers the store — appends keep
+// succeeding, nothing is sticky, and the rows are durable across a crash.
+func TestStoreTransientFaultRetried(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{}
+	log := &healthLog{}
+	s, err := Open(dir, faultOpts(ffs, log, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fillStore(t, s, 50)
+
+	ffs.FailNext(OpSync, 2, errInjected, isWALPath)
+	tb := s.Table("t")
+	base := len(rows)
+	for i := 0; i < 10; i++ {
+		tb.Str("s").Append("post-fault")
+		tb.Int("i").Append(int64((base + i) * 3))
+		tb.Float("f").Append(float64(base+i) / 4)
+		rows = append(rows, "post-fault")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync after transient fault: %v", err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("transient fault turned sticky: %v", err)
+	}
+	if got := s.Health(); got != StateHealthy {
+		t.Fatalf("health = %v, want healthy", got)
+	}
+	if got := s.DroppedRows(); got != 0 {
+		t.Fatalf("dropped rows = %d, want 0", got)
+	}
+	s.Crash()
+
+	states := log.states()
+	if len(states) < 2 || states[0] != StateDegraded || states[len(states)-1] != StateHealthy {
+		t.Fatalf("health transitions = %v, want degraded then healthy", states)
+	}
+
+	s2 := openSync(t, dir)
+	defer s2.Close()
+	verifyStore(t, s2, rows)
+}
+
+// TestStorePermanentFaultReadOnly: once a fault outlives the retry budget
+// the store degrades to read-only — the hook fires, Err is sticky, refused
+// appends are counted, reads still serve the full in-memory contents, and
+// recovery comes back with exactly the durable prefix.
+func TestStorePermanentFaultReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{}
+	log := &healthLog{}
+	s, err := Open(dir, faultOpts(ffs, log, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fillStore(t, s, 50)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Refuse writes and syncs: nothing lands on disk past the durable prefix.
+	ffs.FailAll(OpWrite, errInjected, isWALPath)
+	ffs.FailAll(OpSync, errInjected, isWALPath)
+	tb := s.Table("t")
+	sc := tb.Str("s")
+	for i := 0; i < 5; i++ {
+		sc.Append("lost") // accepted in memory, refused by the dead WAL
+		rows = append(rows, "lost")
+	}
+	if err := s.Err(); !errors.Is(err, errInjected) {
+		t.Fatalf("Err = %v, want injected fault", err)
+	}
+	if got := s.Health(); got != StateReadOnly {
+		t.Fatalf("health = %v, want read-only", got)
+	}
+	// The first failing append burned the retry budget and went sticky; the
+	// remaining four were refused outright.
+	if got := s.DroppedRows(); got != 4 {
+		t.Fatalf("dropped rows = %d, want 4", got)
+	}
+	// Reads keep serving the in-memory store, dropped rows included.
+	if sc.Len() != len(rows) {
+		t.Fatalf("in-memory rows = %d, want %d", sc.Len(), len(rows))
+	}
+	for i, want := range rows {
+		if got := sc.Get(i); got != want {
+			t.Fatalf("row %d = %q, want %q", i, got, want)
+		}
+	}
+	s.Crash()
+
+	states := log.states()
+	if len(states) == 0 || states[len(states)-1] != StateReadOnly {
+		t.Fatalf("health transitions = %v, want ... read-only", states)
+	}
+
+	// Recovery restores the durable prefix: everything before the fault.
+	ffs.Clear()
+	s2 := openSync(t, dir)
+	defer s2.Close()
+	verifyStore(t, s2, rows[:50])
+}
+
+// TestStoreCheckpointFaultReadOnly: a permanently failing checkpoint write
+// (merge-time part file) turns the journal sticky and read-only, but WAL
+// replay still recovers every appended row.
+func TestStoreCheckpointFaultReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{}
+	log := &healthLog{}
+	s, err := Open(dir, faultOpts(ffs, log, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fillStore(t, s, 50)
+	ffs.FailAll(OpCreate, errInjected, func(p string) bool { return strings.HasSuffix(p, ".tmp") })
+
+	sc := s.Table("t").Str("s")
+	sc.Merge(sc.Format()) // merge triggers the failing checkpoint
+	if err := s.Err(); !errors.Is(err, errInjected) {
+		t.Fatalf("Err = %v, want injected fault", err)
+	}
+	if got := s.Health(); got != StateReadOnly {
+		t.Fatalf("health = %v, want read-only", got)
+	}
+	s.Crash()
+
+	ffs.Clear()
+	s2 := openSync(t, dir)
+	defer s2.Close()
+	verifyStore(t, s2, rows)
+}
+
+// TestHealthHookNotUnderLocks: the OnHealth hook may call back into the
+// store (Err, Health, DroppedRows) without deadlocking, because events are
+// delivered by a dedicated goroutine outside every persist lock.
+func TestHealthHookNotUnderLocks(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{}
+	fired := make(chan struct{})
+	var s *Store
+	var once sync.Once
+	opts := Options{
+		FsyncInterval: -1,
+		FS:            ffs,
+		RetryLimit:    -1,
+		OnHealth: func(ev HealthEvent) {
+			s.Err()
+			s.Health()
+			s.DroppedRows()
+			once.Do(func() { close(fired) })
+		},
+	}
+	var err error
+	s, err = Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 5)
+	ffs.FailAll(OpSync, errInjected, isWALPath)
+	s.Table("t").Str("s").Append("x")
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("health hook never fired")
+	}
+	ffs.Clear()
+	s.Close()
+}

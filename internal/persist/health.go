@@ -1,0 +1,189 @@
+package persist
+
+// Durability health. The WAL and checkpoint paths classify I/O failures
+// into a three-state machine:
+//
+//	Healthy ──fault──▶ Degraded ──retries exhausted──▶ ReadOnly
+//	   ▲                  │
+//	   └───retry wins─────┘
+//
+// Degraded means a fault was observed and a bounded retry loop is (or was
+// just) running; the store keeps its durability promises if the retry wins.
+// ReadOnly is terminal for the store handle: a write or fsync failed past
+// the retry budget, the sticky error is set, and no further rows will be
+// made durable. The store itself keeps serving reads — "read-only" is the
+// durability contract, surfaced so embedders stop writing.
+//
+// Transitions are pushed to the Options.OnHealth hook through a dedicated
+// notifier goroutine: observers run outside every persist lock, so a hook
+// may call Store.Err(), Store.Health() or log freely without deadlocking.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HealthState is the durability state of a persistent store.
+type HealthState int32
+
+const (
+	// StateHealthy: all durability promises hold.
+	StateHealthy HealthState = iota
+	// StateDegraded: a transient I/O fault was observed; a bounded retry
+	// is in progress or just succeeded after backoff.
+	StateDegraded
+	// StateReadOnly: a fault persisted past the retry budget. The sticky
+	// error is set, appends are no longer made durable (dropped rows are
+	// counted), and the state never leaves ReadOnly.
+	StateReadOnly
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateReadOnly:
+		return "read-only"
+	}
+	return "health?"
+}
+
+// HealthEvent is one state transition, delivered to Options.OnHealth.
+type HealthEvent struct {
+	State HealthState
+	// Op names the filesystem operation that triggered the transition
+	// ("sync", "write", ...); empty for the recovery back to Healthy.
+	Op string
+	// Err is the triggering error; nil when recovering to Healthy.
+	Err error
+}
+
+// Retry defaults when Options leaves RetryLimit / RetryBackoff zero.
+const (
+	defaultRetryLimit   = 4
+	defaultRetryBackoff = 2 * time.Millisecond
+)
+
+// healthTracker owns the state machine and the notifier goroutine. It is
+// shared by the WAL and the journal so both failure domains feed one
+// stream of transitions.
+type healthTracker struct {
+	state atomic.Int32
+
+	mu     sync.Mutex
+	ch     chan HealthEvent
+	closed bool
+	done   chan struct{}
+}
+
+// newHealthTracker starts the notifier goroutine iff a hook is installed.
+func newHealthTracker(onHealth func(HealthEvent)) *healthTracker {
+	h := &healthTracker{}
+	if onHealth != nil {
+		h.ch = make(chan HealthEvent, 32)
+		h.done = make(chan struct{})
+		go func() {
+			defer close(h.done)
+			for ev := range h.ch {
+				onHealth(ev)
+			}
+		}()
+	}
+	return h
+}
+
+// current returns the present state without locking.
+func (h *healthTracker) current() HealthState { return HealthState(h.state.Load()) }
+
+// observe records a transition to the given state and, if the state
+// changed, queues an event for the hook. ReadOnly is terminal; repeated
+// observations of the same state are deduplicated. Safe to call from
+// under any persist lock (delivery is asynchronous).
+func (h *healthTracker) observe(state HealthState, op string, err error) {
+	for {
+		old := HealthState(h.state.Load())
+		if old == StateReadOnly || old == state {
+			return
+		}
+		if h.state.CompareAndSwap(int32(old), int32(state)) {
+			break
+		}
+	}
+	if h.ch == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.closed {
+		select {
+		case h.ch <- HealthEvent{State: state, Op: op, Err: err}:
+		default: // hook is badly behind; the state itself is never lost
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close stops the notifier after draining queued events.
+func (h *healthTracker) close() {
+	if h.ch == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.ch)
+	}
+	h.mu.Unlock()
+	<-h.done
+}
+
+// retryPolicy bounds how persist fights transient I/O faults: up to
+// attempts tries with exponentially growing backoff between them. sleep is
+// injectable so the torture harness and tests run at full speed.
+type retryPolicy struct {
+	attempts int // total tries; <=1 means no retries
+	backoff  time.Duration
+	sleep    func(time.Duration)
+}
+
+// newRetryPolicy resolves Options knobs: limit 0 selects the default,
+// negative disables retries; backoff 0 selects the default.
+func newRetryPolicy(limit int, backoff time.Duration) retryPolicy {
+	switch {
+	case limit == 0:
+		limit = defaultRetryLimit
+	case limit < 0:
+		limit = 1
+	default:
+		limit++ // limit counts retries after the first attempt
+	}
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	return retryPolicy{attempts: limit, backoff: backoff, sleep: time.Sleep}
+}
+
+// run invokes fn until it succeeds or the budget is spent. The first
+// failure moves health to Degraded; success after a failure moves it back
+// to Healthy. The final failure is returned — the caller decides whether
+// it is sticky (and observes ReadOnly then).
+func (p retryPolicy) run(h *healthTracker, op string, fn func() error) error {
+	var err error
+	backoff := p.backoff
+	for attempt := 0; attempt < p.attempts; attempt++ {
+		if attempt > 0 {
+			p.sleep(backoff)
+			backoff *= 2
+		}
+		if err = fn(); err == nil {
+			if attempt > 0 {
+				h.observe(StateHealthy, "", nil)
+			}
+			return nil
+		}
+		h.observe(StateDegraded, op, err)
+	}
+	return err
+}

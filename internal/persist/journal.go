@@ -45,6 +45,9 @@ type journal struct {
 	w           *wal
 	store       *colstore.Store
 	disableCkpt bool
+	fs          FS
+	retry       retryPolicy
+	health      *healthTracker
 
 	regMu  sync.RWMutex
 	byName map[string]*colState // "table.column"
@@ -170,7 +173,18 @@ func (j *journal) JournalMainPart(column string, d dict.Dictionary, codes intcom
 func (j *journal) setCkptErrLocked(err error) {
 	if j.ckptErr == nil {
 		j.ckptErr = err
+		j.health.observe(StateReadOnly, "checkpoint", err)
 	}
+}
+
+// writeDurable is writeAtomicFS under the journal's retry policy. Each
+// attempt re-runs the whole tmp-fsync-rename sequence, which is idempotent:
+// a failed attempt leaves at worst a stale .tmp that the next attempt
+// truncates.
+func (j *journal) writeDurable(path string, data []byte) error {
+	return j.retry.run(j.health, "checkpoint", func() error {
+		return writeAtomicFS(j.fs, path, data)
+	})
 }
 
 // checkpointStringLocked writes a string column's main part to a fresh part
@@ -197,7 +211,7 @@ func (j *journal) checkpointStringLocked(st *colState, d dict.Dictionary, codes 
 func (j *journal) writePartLocked(data []byte) (string, error) {
 	seq := j.fileSeq
 	path := partPath(j.dir, seq)
-	if err := writeAtomic(path, data); err != nil {
+	if err := j.writeDurable(path, data); err != nil {
 		return "", err
 	}
 	j.fileSeq++
@@ -315,7 +329,7 @@ func (j *journal) writeManifestLocked() error {
 	sort.Slice(cols, func(a, b int) bool { return cols[a].id < cols[b].id })
 
 	seq := j.manifestSeq
-	if err := writeAtomic(manifestPath(j.dir, seq), encManifest(seq, cols)); err != nil {
+	if err := j.writeDurable(manifestPath(j.dir, seq), encManifest(seq, cols)); err != nil {
 		return err
 	}
 	j.manifestSeq++
@@ -379,13 +393,13 @@ func (j *journal) gcLocked() {
 	for _, e := range entries {
 		name := e.Name()
 		if seq, ok := parseManifestSeq(name); ok && seq < keep[1] {
-			os.Remove(filepath.Join(j.dir, name))
+			j.fs.Remove(filepath.Join(j.dir, name))
 		}
 		if _, ok := parsePartSeq(name); ok && !referenced[name] {
-			os.Remove(filepath.Join(j.dir, name))
+			j.fs.Remove(filepath.Join(j.dir, name))
 		}
 		if filepath.Ext(name) == ".tmp" {
-			os.Remove(filepath.Join(j.dir, name))
+			j.fs.Remove(filepath.Join(j.dir, name))
 		}
 	}
 }
@@ -406,3 +420,7 @@ func (j *journal) err() error {
 	}
 	return nil
 }
+
+// JournalErr implements colstore.JournalHealth: the merge daemon polls it
+// after each merge to report, rather than swallow, durability failures.
+func (j *journal) JournalErr() error { return j.err() }

@@ -37,6 +37,28 @@ type Options struct {
 	// only explicit Checkpoint calls persist main parts then. Useful for
 	// benchmarks isolating WAL cost.
 	DisableCheckpointOnMerge bool
+
+	// FS is the filesystem the WAL and checkpoint paths write through.
+	// Nil selects the real OS filesystem; tests and the torture harness
+	// install a *FaultFS to inject transient and permanent I/O faults.
+	FS FS
+
+	// OnHealth, when non-nil, is invoked on every durability health
+	// transition (Healthy → Degraded → ReadOnly and Degraded → Healthy).
+	// Calls are delivered by a dedicated goroutine, never under a store
+	// lock, so the hook may call back into the store (Err, Health) or
+	// block briefly without stalling appends.
+	OnHealth func(HealthEvent)
+
+	// RetryLimit bounds how many times a failed WAL or checkpoint I/O
+	// operation is retried before the error turns sticky and the store
+	// degrades to read-only. Zero selects the default (4); negative
+	// disables retries.
+	RetryLimit int
+
+	// RetryBackoff is the initial delay between retries, doubling per
+	// attempt. Zero selects the default (2ms).
+	RetryBackoff time.Duration
 }
 
 // Store is a colstore.Store whose contents survive process crashes. All
@@ -44,8 +66,9 @@ type Options struct {
 // transparently once the store is open.
 type Store struct {
 	*colstore.Store
-	j    *journal
-	info RecoveryInfo
+	j      *journal
+	health *healthTracker
+	info   RecoveryInfo
 }
 
 // Open recovers (or creates) the persistent store in dir. The returned
@@ -59,8 +82,22 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: recover %s: %w", dir, err)
 	}
-	w, err := newWAL(dir, opts.SegmentBytes, opts.FsyncInterval, r.nextSegSeq, r.counts, r.sealed)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OS
+	}
+	health := newHealthTracker(opts.OnHealth)
+	retry := newRetryPolicy(opts.RetryLimit, opts.RetryBackoff)
+	w, err := newWAL(walConfig{
+		dir:      dir,
+		segBytes: opts.SegmentBytes,
+		fsync:    opts.FsyncInterval,
+		fs:       fsys,
+		retry:    retry,
+		health:   health,
+	}, r.nextSegSeq, r.counts, r.sealed)
 	if err != nil {
+		health.close()
 		return nil, fmt.Errorf("persist: open wal: %w", err)
 	}
 	j := &journal{
@@ -68,6 +105,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		w:           w,
 		store:       r.store,
 		disableCkpt: opts.DisableCheckpointOnMerge,
+		fs:          fsys,
+		retry:       retry,
+		health:      health,
 		byName:      r.byName,
 		byID:        r.byID,
 		tables:      r.tables,
@@ -76,7 +116,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		fileSeq:     r.nextFileSeq,
 	}
 	r.store.SetJournal(j)
-	return &Store{Store: r.store, j: j, info: r.info}, nil
+	return &Store{Store: r.store, j: j, health: health, info: r.info}, nil
 }
 
 // Recovery reports what Open found in the directory.
@@ -97,6 +137,29 @@ func (s *Store) Checkpoint() error { return s.j.checkpointAll() }
 // reads and in-memory writes but makes no further durability promises.
 func (s *Store) Err() error { return s.j.err() }
 
+// Health reports the store's durability state. StateDegraded means a
+// transient fault is being retried; StateReadOnly means a fault outlived
+// the retry budget — reads and in-memory writes still work, but appends
+// are no longer made durable (see DroppedRows) and embedders should stop
+// writing. Prefer Options.OnHealth for transition notifications.
+func (s *Store) Health() HealthState { return s.health.current() }
+
+// DroppedRows counts append records refused by the WAL after it degraded
+// to read-only: rows the in-memory store holds but durability lost.
+func (s *Store) DroppedRows() uint64 { return s.j.w.droppedRows() }
+
 // Close flushes and closes the WAL. The store remains readable; further
 // appends are no longer journaled durably and Err reports the closed state.
-func (s *Store) Close() error { return s.j.w.close() }
+func (s *Store) Close() error {
+	err := s.j.w.close()
+	s.health.close()
+	return err
+}
+
+// Crash abandons the store without flushing, keeping on disk only what was
+// already durable — a simulated process kill for the crash suite and the
+// torture harness. The in-memory store stays readable.
+func (s *Store) Crash() {
+	s.j.w.crash()
+	s.health.close()
+}

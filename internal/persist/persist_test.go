@@ -93,7 +93,7 @@ func TestCrashLosesNothingWithSyncEveryAppend(t *testing.T) {
 	dir := t.TempDir()
 	s := openSync(t, dir)
 	rows := fillStore(t, s, 30)
-	s.j.w.crash() // no flush, no close
+	s.Crash() // no flush, no close
 
 	s2 := openSync(t, dir)
 	verifyStore(t, s2, rows)
@@ -117,7 +117,7 @@ func TestMergeCheckpointAndReplayOnTop(t *testing.T) {
 		s.Table("t").Int("i").Append(int64((40 + i) * 3))
 		s.Table("t").Float("f").Append(float64(40+i) / 4)
 	}
-	s.j.w.crash()
+	s.Crash()
 
 	s2 := openSync(t, dir)
 	info := s2.Recovery()
@@ -237,7 +237,7 @@ func TestReopenManyGenerations(t *testing.T) {
 			tb.Str("s").MergePartial(1)
 		}
 		if gen%2 == 0 {
-			s.j.w.crash()
+			s.Crash()
 		} else {
 			s.Close()
 		}

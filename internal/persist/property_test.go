@@ -65,7 +65,7 @@ func TestPropertyRandomInterleavings(t *testing.T) {
 					}
 				default: // crash or clean close, then recover
 					if rng.Intn(2) == 0 {
-						s.j.w.crash()
+						s.Crash()
 					} else {
 						if err := s.Close(); err != nil {
 							t.Fatalf("step %d: close: %v", step, err)
@@ -97,7 +97,7 @@ func TestPropertyRandomInterleavings(t *testing.T) {
 			// Final crash + recover + full verification, including a merge
 			// of everything so the recovered state exercises main parts in
 			// every format.
-			s.j.w.crash()
+			s.Crash()
 			s, err = Open(dir, opts)
 			if err != nil {
 				t.Fatal(err)

@@ -19,10 +19,16 @@ package persist
 // seal record, fsyncs, closes the file and opens the next segment. Sealed
 // segments are immutable; the journal deletes them once a checkpoint
 // manifest covers every row they hold.
+//
+// Faults: every filesystem operation goes through the FS seam and a bounded
+// retry policy. A write that fails mid-buffer is resumed from the first
+// unwritten byte (bufOff), never re-sent from the start, so retried flushes
+// cannot duplicate frames; fsync retries are idempotent. Only when the
+// retry budget is spent does the error turn sticky — the WAL goes read-only
+// (health StateReadOnly), later appends are refused and counted as dropped.
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -46,14 +52,6 @@ const (
 	DefaultSegmentBytes = 4 << 20
 )
 
-// walFile is the slice of *os.File the WAL needs; tests substitute a
-// fault-injecting implementation to exercise write/sync failures.
-type walFile interface {
-	io.Writer
-	Sync() error
-	Close() error
-}
-
 // segmentInfo tracks one sealed on-disk segment.
 type segmentInfo struct {
 	seq  uint64
@@ -63,30 +61,40 @@ type segmentInfo struct {
 	end map[uint32]uint64
 }
 
+// walConfig bundles what newWAL needs beyond the recovery bookkeeping.
+type walConfig struct {
+	dir      string
+	segBytes int64
+	fsync    time.Duration
+	fs       FS
+	retry    retryPolicy
+	health   *healthTracker
+}
+
 type wal struct {
 	dir       string
 	segBytes  int64
 	syncEvery bool // fsync inline on every append (FsyncInterval < 0)
+	fs        FS
+	retry     retryPolicy
+	health    *healthTracker
 
 	mu      sync.Mutex
-	f       walFile
+	f       File
 	path    string
 	seq     uint64            // current segment sequence number
 	written int64             // bytes handed to f for the current segment
 	durable int64             // bytes fsynced of the current segment
-	buf     []byte            // framed records not yet written to f
+	buf     []byte            // framed records not yet fully written to f
+	bufOff  int               // bytes of buf already written (partial flush)
 	counts  map[uint32]uint64 // absolute append-record count per column
 	sealed  []segmentInfo     // sealed segments still on disk, oldest first
 	err     error             // sticky write/sync failure
-
-	// newFile creates a segment file; tests inject failures here.
-	newFile func(path string) (walFile, error)
+	dropped uint64            // append records refused after err turned sticky
 
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
-
-func osCreate(path string) (walFile, error) { return os.Create(path) }
 
 func walSegmentPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
@@ -125,29 +133,40 @@ func listWALSegments(dir string) ([]segmentInfo, error) {
 // newWAL opens a fresh active segment at seq, continuing the given absolute
 // record counts and sealed-segment bookkeeping (both from recovery; empty
 // on a fresh store), and starts the flusher unless syncEvery.
-func newWAL(dir string, segBytes int64, fsync time.Duration, seq uint64, counts map[uint32]uint64, sealed []segmentInfo) (*wal, error) {
-	if segBytes <= 0 {
-		segBytes = DefaultSegmentBytes
+func newWAL(cfg walConfig, seq uint64, counts map[uint32]uint64, sealed []segmentInfo) (*wal, error) {
+	if cfg.segBytes <= 0 {
+		cfg.segBytes = DefaultSegmentBytes
+	}
+	if cfg.fs == nil {
+		cfg.fs = OS
+	}
+	if cfg.health == nil {
+		cfg.health = newHealthTracker(nil)
+	}
+	if cfg.retry.attempts == 0 {
+		cfg.retry = newRetryPolicy(0, 0)
 	}
 	w := &wal{
-		dir:      dir,
-		segBytes: segBytes,
+		dir:      cfg.dir,
+		segBytes: cfg.segBytes,
+		fs:       cfg.fs,
+		retry:    cfg.retry,
+		health:   cfg.health,
 		seq:      seq,
 		counts:   counts,
 		sealed:   sealed,
-		newFile:  osCreate,
 	}
 	if counts == nil {
 		w.counts = make(map[uint32]uint64)
 	}
-	if fsync < 0 {
+	if cfg.fsync < 0 {
 		w.syncEvery = true
 	}
 	if err := w.openSegmentLocked(); err != nil {
 		return nil, err
 	}
 	if !w.syncEvery {
-		interval := fsync
+		interval := cfg.fsync
 		if interval == 0 {
 			interval = DefaultFsyncInterval
 		}
@@ -162,11 +181,17 @@ func newWAL(dir string, segBytes int64, fsync time.Duration, seq uint64, counts 
 // and header record (buffered; durable at the next flush).
 func (w *wal) openSegmentLocked() error {
 	w.path = walSegmentPath(w.dir, w.seq)
-	f, err := w.newFile(w.path)
+	err := w.retry.run(w.health, "create", func() error {
+		f, cerr := w.fs.Create(w.path)
+		if cerr != nil {
+			return cerr
+		}
+		w.f = f
+		return nil
+	})
 	if err != nil {
-		return err
+		return w.failLocked("create", err)
 	}
-	w.f = f
 	w.written, w.durable = 0, 0
 	w.buf = append(w.buf, walMagic...)
 	w.buf = append(w.buf, walVersion)
@@ -194,13 +219,17 @@ func (w *wal) flusher(interval time.Duration) {
 // append frames a payload into the buffer. isAppend marks row records,
 // whose absolute per-column count feeds segment headers; the count is
 // bumped under the same lock that orders the record into the log, so the
-// two can never disagree. Errors are sticky: after a write/sync failure
-// every later append reports it (rows are not silently dropped on a dead
-// log — callers surface the error through Sync/Close).
+// two can never disagree. Errors are sticky: after the retry budget is
+// spent on a write/sync failure every later append reports it, and refused
+// row records are counted (droppedRows) — rows are not silently dropped on
+// a dead log.
 func (w *wal) append(payload []byte, isAppend bool, id uint32) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
+		if isAppend {
+			w.dropped++
+		}
 		return w.err
 	}
 	w.buf = appendFrame(w.buf, payload)
@@ -213,27 +242,45 @@ func (w *wal) append(payload []byte, isAppend bool, id uint32) error {
 	return nil
 }
 
+// failLocked makes err sticky and publishes the read-only transition. The
+// caller holds mu; delivery to the health hook is asynchronous, so this
+// cannot deadlock against observers calling back into the store.
+func (w *wal) failLocked(op string, err error) error {
+	if w.err == nil {
+		w.err = err
+		w.health.observe(StateReadOnly, op, err)
+	}
+	return err
+}
+
 // flushLocked writes the buffer, fsyncs, and rotates if the segment is
-// full. The caller holds mu.
+// full. Transient faults are retried under the WAL's policy — a partial
+// write resumes at bufOff, so frames are never duplicated — and only an
+// exhausted budget turns the error sticky. The caller holds mu; retries
+// (bounded, short backoff) stall appends for the duration, which is the
+// intended backpressure while the disk misbehaves.
 func (w *wal) flushLocked() error {
 	if w.err != nil {
 		return w.err
 	}
-	if len(w.buf) > 0 {
-		n, err := w.f.Write(w.buf)
-		w.written += int64(n)
+	if w.bufOff < len(w.buf) {
+		err := w.retry.run(w.health, "write", func() error {
+			n, werr := w.f.Write(w.buf[w.bufOff:])
+			w.written += int64(n)
+			w.bufOff += n
+			return werr
+		})
 		if err != nil {
-			w.err = err
-			return err
+			return w.failLocked("write", err)
 		}
 		w.buf = w.buf[:0]
+		w.bufOff = 0
 	}
 	if w.durable == w.written {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
-		w.err = err
-		return err
+	if err := w.retry.run(w.health, "sync", func() error { return w.f.Sync() }); err != nil {
+		return w.failLocked("sync", err)
 	}
 	w.durable = w.written
 	if w.durable >= w.segBytes {
@@ -247,17 +294,20 @@ func (w *wal) flushLocked() error {
 // sealed segment always ends on a complete frame.
 func (w *wal) rotateLocked() error {
 	seal := appendFrame(nil, []byte{recSeal})
-	if _, err := w.f.Write(seal); err != nil {
-		w.err = err
-		return err
+	sealOff := 0
+	err := w.retry.run(w.health, "write", func() error {
+		n, werr := w.f.Write(seal[sealOff:])
+		sealOff += n
+		return werr
+	})
+	if err != nil {
+		return w.failLocked("write", err)
 	}
-	if err := w.f.Sync(); err != nil {
-		w.err = err
-		return err
+	if err := w.retry.run(w.health, "sync", func() error { return w.f.Sync() }); err != nil {
+		return w.failLocked("sync", err)
 	}
 	if err := w.f.Close(); err != nil {
-		w.err = err
-		return err
+		return w.failLocked("close", err)
 	}
 	end := make(map[uint32]uint64, len(w.counts))
 	for id, n := range w.counts {
@@ -283,8 +333,10 @@ func (w *wal) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	err := w.flushLocked()
-	if cerr := w.f.Close(); err == nil {
-		err = cerr
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if w.err == nil {
 		w.err = os.ErrClosed
@@ -298,7 +350,9 @@ func (w *wal) crash() {
 	w.stopFlusher()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.f.Close()
+	if w.f != nil {
+		w.f.Close()
+	}
 	w.err = os.ErrClosed
 }
 
@@ -308,6 +362,14 @@ func (w *wal) stopFlusher() {
 		<-w.flushDone
 		w.flushStop = nil
 	}
+}
+
+// droppedRows reports how many append records were refused after the WAL
+// turned sticky — the rows the in-memory store holds but durability lost.
+func (w *wal) droppedRows() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
 }
 
 // activeSeq returns the sequence number of the segment currently being
@@ -344,7 +406,7 @@ func (w *wal) deleteCovered(cover map[uint32]uint64, maxSeq uint64) {
 		if !covered {
 			return
 		}
-		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+		if err := w.fs.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 			return // try again at the next checkpoint
 		}
 		w.sealed = w.sealed[1:]

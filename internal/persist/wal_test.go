@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -114,7 +115,7 @@ func TestDDLColumnLegacyString(t *testing.T) {
 
 func TestWALRotationAndHeaders(t *testing.T) {
 	dir := t.TempDir()
-	w, err := newWAL(dir, 256, -1, 0, nil, nil)
+	w, err := newWAL(walConfig{dir: dir, segBytes: 256, fsync: -1}, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestWALRotationAndHeaders(t *testing.T) {
 
 func TestWALDeleteCovered(t *testing.T) {
 	dir := t.TempDir()
-	w, err := newWAL(dir, 200, -1, 0, nil, nil)
+	w, err := newWAL(walConfig{dir: dir, segBytes: 200, fsync: -1}, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,78 +217,102 @@ func TestWALDeleteCovered(t *testing.T) {
 	w.close()
 }
 
-// faultFile fails writes after failAfter bytes, or Sync when failSync.
-type faultFile struct {
-	f         *os.File
-	n         int
-	failAfter int // -1: never
-	failSync  bool
-}
-
 var errInjected = errors.New("injected fault")
 
-func (f *faultFile) Write(p []byte) (int, error) {
-	if f.failAfter >= 0 && f.n+len(p) > f.failAfter {
-		k := f.failAfter - f.n
-		if k > 0 {
-			f.f.Write(p[:k])
-		}
-		f.n = f.failAfter
-		return k, errInjected
-	}
-	n, err := f.f.Write(p)
-	f.n += n
-	return n, err
-}
-
-func (f *faultFile) Sync() error {
-	if f.failSync {
-		return errInjected
-	}
-	return f.f.Sync()
-}
-
-func (f *faultFile) Close() error { return f.f.Close() }
-
+// TestWALStickyWriteError: with retries disabled, a permanent write or sync
+// fault makes the WAL error sticky — every later append and sync reports it,
+// refused row records are counted, and the health state is read-only.
 func TestWALStickyWriteError(t *testing.T) {
-	for _, mode := range []string{"write", "sync"} {
+	for _, mode := range []Op{OpWrite, OpSync} {
 		dir := t.TempDir()
-		w, err := newWAL(dir, 1<<20, -1, 0, nil, nil)
+		ffs := &FaultFS{}
+		w, err := newWAL(walConfig{
+			dir: dir, segBytes: 1 << 20, fsync: -1,
+			fs:     ffs,
+			retry:  newRetryPolicy(-1, time.Microsecond),
+			health: newHealthTracker(nil),
+		}, 0, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.close()
-		os.RemoveAll(dir)
-		os.MkdirAll(dir, 0o755)
-
-		w = &wal{dir: dir, segBytes: 1 << 20, syncEvery: true, counts: map[uint32]uint64{}}
-		w.newFile = func(path string) (walFile, error) {
-			f, err := os.Create(path)
-			if err != nil {
-				return nil, err
-			}
-			ff := &faultFile{f: f, failAfter: -1}
-			if mode == "write" {
-				ff.failAfter = 40
-			} else {
-				ff.failSync = true
-			}
-			return ff, nil
+		if mode == OpWrite {
+			ffs.FailNextWriteShort(40, errInjected, nil)
+			ffs.FailAll(OpWrite, errInjected, nil)
+		} else {
+			ffs.FailAll(OpSync, errInjected, nil)
 		}
-		w.mu.Lock()
-		if err := w.openSegmentLocked(); err != nil {
-			t.Fatal(err)
-		}
-		w.mu.Unlock()
 
 		if err := w.append(encAppend(0, "zz"), true, 0); !errors.Is(err, errInjected) {
-			t.Fatalf("%s: first append err = %v", mode, err)
+			t.Fatalf("%v: first append err = %v", mode, err)
 		}
 		if err := w.append(encAppend(0, "zz"), true, 0); !errors.Is(err, errInjected) {
-			t.Fatalf("%s: error not sticky: %v", mode, err)
+			t.Fatalf("%v: error not sticky: %v", mode, err)
 		}
 		if err := w.sync(); !errors.Is(err, errInjected) {
-			t.Fatalf("%s: sync err = %v", mode, err)
+			t.Fatalf("%v: sync err = %v", mode, err)
+		}
+		if got := w.droppedRows(); got != 1 {
+			t.Fatalf("%v: droppedRows = %d, want 1", mode, got)
+		}
+		if got := w.health.current(); got != StateReadOnly {
+			t.Fatalf("%v: health = %v, want read-only", mode, got)
+		}
+		ffs.Clear()
+		w.close()
+	}
+}
+
+// TestWALRetryRecoversTransientFault: a fault shorter than the retry budget
+// is absorbed — the flush succeeds, nothing is sticky, and a partially
+// written buffer resumes at the first unwritten byte instead of duplicating
+// frames (verified by replaying the segment).
+func TestWALRetryRecoversTransientFault(t *testing.T) {
+	for _, mode := range []Op{OpWrite, OpSync} {
+		dir := t.TempDir()
+		ffs := &FaultFS{}
+		w, err := newWAL(walConfig{
+			dir: dir, segBytes: 1 << 20, fsync: -1,
+			fs:     ffs,
+			retry:  retryPolicy{attempts: 4, backoff: time.Microsecond, sleep: func(time.Duration) {}},
+			health: newHealthTracker(nil),
+		}, 0, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == OpWrite {
+			ffs.FailNextWriteShort(3, errInjected, nil) // torn mid-preamble
+		} else {
+			ffs.FailNext(OpSync, 2, errInjected, nil)
+		}
+		for i := 0; i < 5; i++ {
+			if err := w.append(encAppend(0, "val"), true, 0); err != nil {
+				t.Fatalf("%v: append %d: %v", mode, i, err)
+			}
+		}
+		if err := w.close(); err != nil {
+			t.Fatalf("%v: close: %v", mode, err)
+		}
+
+		b, err := os.ReadFile(walSegmentPath(dir, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b[:4]) != walMagic {
+			t.Fatalf("%v: bad preamble after retried write", mode)
+		}
+		off, appends := 5, 0
+		for off < len(b) {
+			var payload []byte
+			payload, off, err = readFrame(b, off)
+			if err != nil {
+				t.Fatalf("%v: torn/duplicated frame at %d: %v", mode, off, err)
+			}
+			if payload[0] == recAppend {
+				appends++
+			}
+		}
+		if appends != 5 {
+			t.Fatalf("%v: replayed %d appends, want 5", mode, appends)
 		}
 	}
 }
@@ -295,7 +320,7 @@ func TestWALStickyWriteError(t *testing.T) {
 func TestWriteAtomicLeavesNoTemp(t *testing.T) {
 	dir := t.TempDir()
 	p := filepath.Join(dir, "x")
-	if err := writeAtomic(p, []byte("hello")); err != nil {
+	if err := writeAtomicFS(OS, p, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(p)

@@ -1,0 +1,101 @@
+package torture
+
+import (
+	"bufio"
+	"flag"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	flagSeed  = flag.Int64("torture.seed", 0, "run only this seed (0 = use testdata/seeds.txt or the long-run default)")
+	flagSteps = flag.Int("torture.steps", 0, "override the per-run step count (0 = package default)")
+	flagLong  = flag.Bool("torture.long", false, "enable the long torture run (make torture)")
+)
+
+// seedList loads the pinned regression seeds. Each line is one seed;
+// '#' starts a comment.
+func seedList(t *testing.T) []int64 {
+	f, err := os.Open("testdata/seeds.txt")
+	if err != nil {
+		t.Fatalf("seed list: %v", err)
+	}
+	defer f.Close()
+	var seeds []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("seed list: bad line %q: %v", line, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return seeds
+}
+
+func runSeed(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	err := Run(Config{
+		Seed:  seed,
+		Steps: steps,
+		Dir:   t.TempDir(),
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("replay with: make torture SEED=%d\n%v", seed, err)
+	}
+}
+
+// TestTortureShort replays the pinned seeds with a small step count — the
+// deterministic ~10s run wired into scripts/check.sh. With -torture.seed it
+// replays just that seed instead.
+func TestTortureShort(t *testing.T) {
+	steps := *flagSteps
+	if steps == 0 {
+		steps = 25
+	}
+	if *flagSeed != 0 {
+		runSeed(t, *flagSeed, steps)
+		return
+	}
+	for _, seed := range seedList(t) {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			runSeed(t, seed, steps)
+		})
+	}
+}
+
+// TestTortureLong is the `make torture` entry point: a much longer run
+// behind -torture.long, printing the failing seed so it can be pinned in
+// testdata/seeds.txt and replayed exactly.
+func TestTortureLong(t *testing.T) {
+	if !*flagLong {
+		t.Skip("long torture run disabled; use `make torture` (or -torture.long)")
+	}
+	steps := *flagSteps
+	if steps == 0 {
+		steps = 200
+	}
+	if *flagSeed != 0 {
+		runSeed(t, *flagSeed, steps)
+		return
+	}
+	// Default long sweep: a fixed fan of seeds so even the long run is
+	// reproducible without flags.
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			runSeed(t, seed, steps)
+		})
+	}
+}

@@ -31,6 +31,13 @@ if [ -f BENCH_scan_kernels.json ]; then
     ' BENCH_scan_kernels.json
 fi
 
+# Torture smoke: the pinned seeds in internal/torture/testdata/seeds.txt
+# replayed deterministically under the race detector (~10s). Every seed
+# drives random append/merge/scan/checkpoint/crash/fault interleavings and
+# holds all four differential oracles after every step. A failure prints
+# the seed; `make torture SEED=<n>` replays it exactly.
+go test -race -count=1 -run 'TestTortureShort' ./internal/torture/
+
 # Registry completeness: every registered dictionary format must carry a
 # size model and a default cost-table entry (TestRegistryCompleteness), keep
 # its immutable wire ID (TestWireIDStability), and satisfy the cross-format

@@ -291,8 +291,49 @@ func ReconfigureParallel(s *Store, mgr *Manager, lifetimeNs float64, sampleRatio
 // functionality is embedded and journaled transparently.
 type PersistentStore = persist.Store
 
-// StoreOptions tunes a persistent store's durability behaviour.
+// StoreOptions tunes a persistent store's durability behaviour, including
+// the fault-handling knobs: FS (filesystem seam), OnHealth (durability
+// state transitions), RetryLimit and RetryBackoff (bounded retry of
+// transient I/O faults before the store degrades to read-only).
 type StoreOptions = persist.Options
+
+// HealthState is a persistent store's durability state: healthy, degraded
+// (a transient I/O fault is being retried), or read-only (a fault outlived
+// the retry budget; reads keep working, appends are no longer durable).
+type HealthState = persist.HealthState
+
+// The durability health states.
+const (
+	StateHealthy  = persist.StateHealthy
+	StateDegraded = persist.StateDegraded
+	StateReadOnly = persist.StateReadOnly
+)
+
+// HealthEvent is one durability state transition, delivered to
+// StoreOptions.OnHealth off every store lock.
+type HealthEvent = persist.HealthEvent
+
+// FS is the filesystem seam the WAL and checkpoint paths write through;
+// FaultFS is an FS that injects transient or permanent I/O faults for
+// robustness testing (see internal/torture).
+type FS = persist.FS
+
+// FaultFS wraps an FS and injects faults per operation class.
+type FaultFS = persist.FaultFS
+
+// Op identifies one class of filesystem operation for FaultFS planning.
+type Op = persist.Op
+
+// The FaultFS operation classes.
+const (
+	OpCreate  = persist.OpCreate
+	OpWrite   = persist.OpWrite
+	OpSync    = persist.OpSync
+	OpClose   = persist.OpClose
+	OpRename  = persist.OpRename
+	OpRemove  = persist.OpRemove
+	OpSyncDir = persist.OpSyncDir
+)
 
 // RecoveryInfo reports what OpenStore found in the directory: the
 // checkpoint it loaded, the WAL rows it replayed, and any torn or corrupt
@@ -378,6 +419,11 @@ type DaemonOptions struct {
 	// hot stores tick faster (down to Interval/8), idle stores back off (up
 	// to Interval*8).
 	AdaptiveInterval bool
+	// OnMergeError, when non-nil, is invoked (from merge pool workers) when
+	// a merge leaves the store's journal with a sticky durability failure —
+	// the daemon reports rather than swallows checkpoint/WAL errors. The
+	// same error is reported once, not once per merged column.
+	OnMergeError func(column string, err error)
 }
 
 // StartMergeDaemon wires a MergeScheduler to a Manager and starts it as a
@@ -399,6 +445,7 @@ func StartMergeDaemon(ctx context.Context, s *Store, mgr *Manager, opts DaemonOp
 	sched.PartialMerges = opts.PartialMerges
 	sched.HotRowsPerSec = opts.HotRowsPerSec
 	sched.AdaptiveInterval = opts.AdaptiveInterval
+	sched.OnError = opts.OnMergeError
 	if mgr != nil {
 		ratio := opts.SampleRatio
 		if ratio <= 0 {

@@ -1,9 +1,13 @@
 package strdict_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"strdict"
 )
@@ -92,4 +96,55 @@ func ExampleBuild() {
 	id, found := d.Locate("charlie")
 	fmt.Println(id, found, d.Extract(id))
 	// Output: 2 true charlie
+}
+
+// TestFacadeDaemonReportsMergeError: the merge daemon surfaces a sticky
+// journal failure through DaemonOptions.OnMergeError instead of swallowing
+// it — here a permanently failing checkpoint write injected via the FaultFS
+// seam in StoreOptions.
+func TestFacadeDaemonReportsMergeError(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &strdict.FaultFS{}
+	s, err := strdict.OpenStore(dir, strdict.StoreOptions{
+		FsyncInterval: -1,
+		FS:            ffs,
+		RetryLimit:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	col := s.AddTable("t").AddString("c", strdict.Array)
+
+	reported := make(chan error, 1)
+	sched := strdict.StartMergeDaemon(context.Background(), s.Store, nil, strdict.DaemonOptions{
+		DeltaRowThreshold: 4,
+		Interval:          time.Millisecond,
+		OnMergeError: func(column string, err error) {
+			select {
+			case reported <- fmt.Errorf("%s: %w", column, err):
+			default:
+			}
+		},
+	})
+	defer sched.Close()
+
+	ffs.FailAll(strdict.OpCreate, errors.New("disk full"),
+		func(p string) bool { return strings.HasSuffix(p, ".tmp") })
+	for i := 0; i < 64; i++ {
+		col.Append(fmt.Sprintf("v-%03d", i))
+	}
+
+	select {
+	case err := <-reported:
+		if !strings.Contains(err.Error(), "disk full") {
+			t.Fatalf("reported error = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("merge daemon never reported the journal error")
+	}
+	if s.Health() != strdict.StateReadOnly {
+		t.Fatalf("health = %v, want read-only", s.Health())
+	}
+	ffs.Clear()
 }
