@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all bench-recovery bench-formats bench-scan check torture
+.PHONY: all build test race vet bench bench-all bench-recovery bench-formats bench-scan bench-ckpt check torture
 
 all: check
 
@@ -22,14 +22,21 @@ vet:
 # append stream; writes BENCH_partial_merge.json.
 # Scan-kernel gate: packed-domain predicate kernels and zone-map pruning vs
 # the scalar per-row path; writes BENCH_scan_kernels.json.
+# Incremental-checkpoint gate: bytes written per checkpoint with one dirty
+# column vs a full rewrite; writes BENCH_incremental_ckpt.json.
 bench:
 	sh scripts/bench_read_path.sh
 	sh scripts/bench_partial_merge.sh
 	sh scripts/bench_scan_kernels.sh
+	sh scripts/bench_incremental_ckpt.sh
 
 # Scan-kernel gate alone (it is also part of `make bench`).
 bench-scan:
 	sh scripts/bench_scan_kernels.sh
+
+# Incremental-checkpoint gate alone (it is also part of `make bench`).
+bench-ckpt:
+	sh scripts/bench_incremental_ckpt.sh
 
 # Durability gate: WAL append overhead vs in-memory, plus crash-recovery
 # throughput for the replay-heavy and checkpoint-heavy extremes; writes

@@ -30,7 +30,10 @@ type Journal interface {
 	JournalAddFloat64(table, column string)
 
 	// JournalAppend records one appended row. column is the full column
-	// name (table.column), as reported by Name().
+	// name (table.column), as reported by Name(). For numeric columns these
+	// calls double as the journal's dirtiness signal: a checkpoint rewrites
+	// a numeric column's part file iff appends arrived since it was last
+	// written (the part snapshots the full value slice).
 	JournalAppend(column string, value string)
 	JournalAppendInt64(column string, value int64)
 	JournalAppendFloat64(column string, value float64)
@@ -38,7 +41,11 @@ type Journal interface {
 	// JournalMainPart records a newly published read-optimized main part:
 	// the dictionary, the compressed code vector and the number of main rows
 	// it covers (always codes.Len()). Emitted by Merge, MergePartial and
-	// Rebuild after their atomic publish.
+	// Rebuild after their atomic publish. This is a string column's
+	// dirtiness signal: the persist journal rewrites a string column's part
+	// file at the next checkpoint iff a publication arrived since the part
+	// was last written — delta appends ride in the WAL and do not stale it —
+	// so clean columns' parts are re-referenced, not rewritten.
 	JournalMainPart(column string, d dict.Dictionary, codes intcomp.Vector, nMain int)
 }
 

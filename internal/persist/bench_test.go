@@ -8,6 +8,11 @@ package persist
 //   - BenchmarkRecovery measures Open on a prepared directory, both
 //     replay-heavy (all rows in the WAL) and checkpoint-heavy (all rows in
 //     part files) — the two recovery extremes.
+//
+// BenchmarkIncrementalCheckpoint is consumed by
+// scripts/bench_incremental_ckpt.sh instead: it measures bytes written per
+// checkpoint on a 16-column store with everything dirty vs one column dirty,
+// and the script gates on the byte reduction.
 
 import (
 	"fmt"
@@ -124,6 +129,59 @@ func BenchmarkRecovery(b *testing.B) {
 			}
 			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 			b.ReportMetric(float64(bytes)*float64(b.N)/b.Elapsed().Seconds()/(1<<20), "MB/s")
+		})
+	}
+}
+
+// BenchmarkIncrementalCheckpoint checkpoints a 16-column store repeatedly:
+// "full" dirties every column before each checkpoint (the pre-incremental
+// behavior, where every checkpoint rewrites every part), "1of16" dirties a
+// single column, so the checkpoint rewrites one part and re-references the
+// other fifteen. The headline metric is bytes written per checkpoint (part
+// files plus the manifest).
+func BenchmarkIncrementalCheckpoint(b *testing.B) {
+	const (
+		ncols = 16
+		rows  = 10_000
+	)
+	for _, mode := range []struct {
+		name  string
+		dirty int
+	}{{"full", ncols}, {"1of16", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			tb := s.AddTable("t")
+			cols := make([]*colstore.Int64Column, ncols)
+			for i := range cols {
+				cols[i] = tb.AddInt64(fmt.Sprintf("c%02d", i))
+			}
+			for r := 0; r < rows; r++ {
+				for _, c := range cols {
+					c.Append(int64(r))
+				}
+			}
+			if err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			var bytes, parts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < mode.dirty; k++ {
+					cols[k].Append(int64(i))
+				}
+				if err := s.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				st := s.LastCheckpoint()
+				bytes += st.PartBytes + st.ManifestBytes
+				parts += uint64(st.PartsWritten)
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N), "bytes/op")
+			b.ReportMetric(float64(parts)/float64(b.N), "parts/op")
 		})
 	}
 }

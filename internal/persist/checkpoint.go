@@ -10,15 +10,22 @@ package persist
 //	  int64  body = rows × u64 (two's complement, little endian)
 //	  float  body = rows × u64 (IEEE 754 bits, little endian)
 //
-//	manifest "SMAN" | version u8 | seq u64 | ncols u32 | entries | crc u32
+//	manifest "SMAN" | version u8 | seq u64 | walSeq u64 | ncols u32 | entries | crc u32
 //	  entry  id u32 | kind u8 | format u16 | rows u64 |
 //	         table str16 | column str16 | file str16
 //
 // A string column's format field is the dictionary format's registry wire
 // ID. Manifest version 1 stored it as a single byte (the pre-registry
 // format enum, equal to the built-ins' wire IDs); version 2 widened it to
-// u16 for registered extensions. Both versions decode through the registry;
-// an unknown wire ID is ErrCorrupt, which makes recovery fall back to the
+// u16 for registered extensions. Version 3 — the incremental-checkpoint
+// part-reference form — added walSeq: the WAL segment that was active when
+// the manifest was written. Every sealed segment with seq < walSeq predates
+// the manifest, so its schema (DDL records) is fully contained in it; WAL
+// truncation uses the *older* retained manifest's walSeq as its ceiling,
+// and recovery seeds that ceiling from the loaded manifest instead of
+// resetting it to zero. v1/v2 decode with walSeq = 0, which only makes
+// truncation conservative. All versions decode through the registry; an
+// unknown wire ID is ErrCorrupt, which makes recovery fall back to the
 // previous manifest instead of mis-decoding the column.
 //
 // Both checksums are CRC32C over every preceding byte. Files are written to
@@ -45,7 +52,7 @@ const (
 	partVersion = 1
 
 	manifestMagic   = "SMAN"
-	manifestVersion = 2
+	manifestVersion = 3
 
 	// Part kinds (column types).
 	partStr   = 0
@@ -206,11 +213,12 @@ type manifestCol struct {
 	file   string // part file base name, "" when rows == 0
 }
 
-func encManifest(seq uint64, cols []manifestCol) []byte {
-	buf := make([]byte, 0, 17+48*len(cols))
+func encManifest(seq, walSeq uint64, cols []manifestCol) []byte {
+	buf := make([]byte, 0, 25+48*len(cols))
 	buf = append(buf, manifestMagic...)
 	buf = append(buf, manifestVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, walSeq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cols)))
 	for _, c := range cols {
 		buf = binary.LittleEndian.AppendUint32(buf, c.id)
@@ -228,25 +236,33 @@ func encManifest(seq uint64, cols []manifestCol) []byte {
 	return appendPartFooter(buf)
 }
 
-func decManifest(b []byte) (seq uint64, cols []manifestCol, err error) {
+func decManifest(b []byte) (seq, walSeq uint64, cols []manifestCol, err error) {
 	if len(b) < 21 || string(b[:4]) != manifestMagic {
-		return 0, nil, ErrCorrupt
+		return 0, 0, nil, ErrCorrupt
 	}
 	sum := binary.LittleEndian.Uint32(b[len(b)-4:])
 	if crc32.Checksum(b[:len(b)-4], crcTable) != sum {
-		return 0, nil, ErrCorrupt
+		return 0, 0, nil, ErrCorrupt
 	}
 	version := b[4]
-	if version != 1 && version != manifestVersion {
-		return 0, nil, fmt.Errorf("persist: unsupported manifest version %d", version)
+	if version < 1 || version > manifestVersion {
+		return 0, 0, nil, fmt.Errorf("persist: unsupported manifest version %d", version)
 	}
 	seq = binary.LittleEndian.Uint64(b[5:])
-	n := int(binary.LittleEndian.Uint32(b[13:]))
+	off := 13
+	if version >= 3 {
+		if len(b) < 29 {
+			return 0, 0, nil, ErrCorrupt
+		}
+		walSeq = binary.LittleEndian.Uint64(b[13:])
+		off = 21
+	}
+	n := int(binary.LittleEndian.Uint32(b[off:]))
 	if n < 0 || n > 1<<20 {
-		return 0, nil, ErrCorrupt
+		return 0, 0, nil, ErrCorrupt
 	}
 	body := b[:len(b)-4]
-	off := 17
+	off += 4
 	// Fixed prefix of an entry before the str16 fields: version 1 carried a
 	// single-byte format, version 2 a u16 wire ID.
 	prefix := 15
@@ -256,7 +272,7 @@ func decManifest(b []byte) (seq uint64, cols []manifestCol, err error) {
 	cols = make([]manifestCol, 0, n)
 	for i := 0; i < n; i++ {
 		if off+prefix > len(body) {
-			return 0, nil, ErrCorrupt
+			return 0, 0, nil, ErrCorrupt
 		}
 		c := manifestCol{
 			id:   binary.LittleEndian.Uint32(body[off:]),
@@ -273,24 +289,24 @@ func decManifest(b []byte) (seq uint64, cols []manifestCol, err error) {
 		if c.kind == partStr {
 			f, ok := dict.FormatByWireID(wire)
 			if !ok {
-				return 0, nil, ErrCorrupt
+				return 0, 0, nil, ErrCorrupt
 			}
 			c.format = f
 		}
 		off += prefix
 		if c.table, off, err = readStr16(body, off); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 		if c.column, off, err = readStr16(body, off); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 		if c.file, off, err = readStr16(body, off); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 		cols = append(cols, c)
 	}
 	if off != len(body) {
-		return 0, nil, ErrCorrupt
+		return 0, 0, nil, ErrCorrupt
 	}
-	return seq, cols, nil
+	return seq, walSeq, cols, nil
 }

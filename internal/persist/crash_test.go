@@ -118,7 +118,7 @@ func TestWALTruncationAtEveryOffset(t *testing.T) {
 	rows := fillStore(t, s, 12)
 	s.Close()
 
-	segs, err := listWALSegments(master)
+	segs, err := listWALSegments(OS, master)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("segments = %d (%v), want 1", len(segs), err)
 	}
@@ -164,7 +164,7 @@ func TestWALBitFlipAtEveryOffset(t *testing.T) {
 	rows := fillStore(t, s, 8)
 	s.Close()
 
-	segs, _ := listWALSegments(master)
+	segs, _ := listWALSegments(OS, master)
 	full, err := os.ReadFile(segs[0].path)
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +219,7 @@ func buildCheckpointed(t *testing.T) (string, []string) {
 // the checkpointed 20 rows.
 func TestCheckpointedWALTruncationAtEveryOffset(t *testing.T) {
 	master, rows := buildCheckpointed(t)
-	segs, err := listWALSegments(master)
+	segs, err := listWALSegments(OS, master)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("segments: %v", err)
 	}
@@ -324,7 +324,7 @@ func TestPartCorruptionFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cols, err := decManifest(b)
+	_, _, cols, err := decManifest(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestQuarantineFilesWritten(t *testing.T) {
 	s := openSync(t, master)
 	fillStore(t, s, 10)
 	s.Close()
-	segs, _ := listWALSegments(master)
+	segs, _ := listWALSegments(OS, master)
 	full, _ := os.ReadFile(segs[0].path)
 	cut := len(full) - 3
 	os.WriteFile(segs[0].path, full[:cut], 0o644)

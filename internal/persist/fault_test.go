@@ -7,10 +7,14 @@ package persist
 
 import (
 	"errors"
+	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"strdict/internal/dict"
 )
 
 // healthLog collects OnHealth events for assertions.
@@ -222,4 +226,157 @@ func TestHealthHookNotUnderLocks(t *testing.T) {
 	}
 	ffs.Clear()
 	s.Close()
+}
+
+// isManifestPath matches manifest files (but not their quarantined copies).
+func isManifestPath(path string) bool {
+	name := filepath.Base(path)
+	_, ok := parseManifestSeq(name)
+	return ok
+}
+
+func isPartPath(path string) bool {
+	_, ok := parsePartSeq(filepath.Base(path))
+	return ok
+}
+
+// buildFaultRecoveryDir makes a directory with two manifests and WAL tail
+// rows, then returns it plus the expected string rows.
+func buildFaultRecoveryDir(t *testing.T) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	s := openSync(t, dir)
+	rows := fillStore(t, s, 20)
+	s.Table("t").Str("s").Merge(dict.FCBlock)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tb := s.Table("t")
+	for i := 20; i < 26; i++ {
+		v := fmt.Sprintf("value-%03d", i%7)
+		tb.Str("s").Append(v)
+		rows = append(rows, v)
+		tb.Int("i").Append(int64(i * 3))
+		tb.Float("f").Append(float64(i) / 4)
+	}
+	s.Close()
+	return dir, rows
+}
+
+// TestOpenManifestReadFaultFallsBack: an I/O fault on the newest manifest
+// during Open behaves like corruption — recovery falls back to the previous
+// manifest and reconstructs every row from it plus the WAL.
+func TestOpenManifestReadFaultFallsBack(t *testing.T) {
+	dir, rows := buildFaultRecoveryDir(t)
+	ffs := &FaultFS{}
+	log := &healthLog{}
+	ffs.FailNext(OpReadFile, 1, errInjected, isManifestPath)
+	s, err := Open(dir, faultOpts(ffs, log, 0))
+	if err != nil {
+		t.Fatalf("open with manifest read fault: %v", err)
+	}
+	defer s.Close()
+	if s.Recovery().ManifestFallbacks == 0 {
+		t.Fatal("expected a manifest fallback")
+	}
+	verifyStore(t, s, rows)
+}
+
+// TestOpenPartReadFaultFallsBack: a faulted part read rejects that manifest
+// and recovery continues manifest-by-manifest instead of poisoning Open.
+func TestOpenPartReadFaultFallsBack(t *testing.T) {
+	dir, rows := buildFaultRecoveryDir(t)
+	ffs := &FaultFS{}
+	log := &healthLog{}
+	ffs.FailNext(OpReadFile, 1, errInjected, isPartPath)
+	s, err := Open(dir, faultOpts(ffs, log, 0))
+	if err != nil {
+		t.Fatalf("open with part read fault: %v", err)
+	}
+	defer s.Close()
+	if s.Recovery().ManifestFallbacks == 0 {
+		t.Fatal("expected a manifest fallback")
+	}
+	verifyStore(t, s, rows)
+}
+
+// TestOpenEveryReadFaultFallsBackOrFails sweeps a single injected ReadFile
+// fault over every read Open performs: each position must either fall back
+// losslessly (manifest/part reads) or fail Open outright (WAL reads) —
+// never open a store with silently missing rows.
+func TestOpenEveryReadFaultFallsBackOrFails(t *testing.T) {
+	dir, rows := buildFaultRecoveryDir(t)
+	// Count the reads of a clean Open.
+	probe := &FaultFS{}
+	s, err := Open(dir, Options{FsyncInterval: -1, FS: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	total := int(probe.OpCount(OpReadFile))
+	if total < 3 {
+		t.Fatalf("probe counted %d reads, want several", total)
+	}
+	for k := 0; k < total; k++ {
+		ffs := &FaultFS{}
+		skip := k
+		var faulted string
+		ffs.SetHook(func(op Op, path string) error {
+			if op != OpReadFile {
+				return nil
+			}
+			if skip == 0 {
+				skip--
+				faulted = filepath.Base(path)
+				return errInjected
+			}
+			skip--
+			return nil
+		})
+		s, err := Open(dir, Options{FsyncInterval: -1, FS: ffs, RetryLimit: -1})
+		if err != nil {
+			// Acceptable only for a WAL read: recovery must not replay
+			// around an unreadable segment.
+			if !errors.Is(err, errInjected) || !isWALPath(faulted) {
+				t.Fatalf("read %d (%s): open failed: %v", k, faulted, err)
+			}
+			continue
+		}
+		verifyStore(t, s, rows)
+		s.Close()
+	}
+}
+
+// TestOpenWALReadFaultFailsThenCleanReopen: a WAL segment read fault makes
+// Open fail with the injected error; clearing the fault lets the same
+// directory open losslessly — the failed Open mutated nothing.
+func TestOpenWALReadFaultFailsThenCleanReopen(t *testing.T) {
+	dir, rows := buildFaultRecoveryDir(t)
+	ffs := &FaultFS{}
+	ffs.FailAll(OpReadFile, errInjected, isWALPath)
+	if _, err := Open(dir, Options{FsyncInterval: -1, FS: ffs, RetryLimit: -1}); !errors.Is(err, errInjected) {
+		t.Fatalf("open with WAL read fault: err = %v, want injected", err)
+	}
+	ffs.Clear()
+	s, err := Open(dir, Options{FsyncInterval: -1, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	verifyStore(t, s, rows)
+}
+
+// TestOpenReadDirFaultFails: if the directory itself cannot be listed, Open
+// reports it rather than treating the store as fresh (which would shadow
+// every existing row).
+func TestOpenReadDirFaultFails(t *testing.T) {
+	dir, _ := buildFaultRecoveryDir(t)
+	ffs := &FaultFS{}
+	ffs.FailNext(OpReadDir, 1, errInjected, nil)
+	if _, err := Open(dir, Options{FsyncInterval: -1, FS: ffs}); !errors.Is(err, errInjected) {
+		t.Fatalf("open with readdir fault: err = %v, want injected", err)
+	}
 }

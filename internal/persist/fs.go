@@ -1,15 +1,15 @@
 package persist
 
-// The filesystem seam. Every mutating filesystem operation the durability
-// paths perform — segment/part/manifest creation, writes, fsyncs, renames,
-// removals and directory fsyncs — goes through one FS value, so a fault-
-// injection implementation can fail any individual operation at any point
-// in a run. The crash suite and the torture harness (internal/torture)
-// drive FaultFS; production stores use the default OS implementation.
-//
-// Read paths (recovery's manifest/part/segment reads) deliberately bypass
-// the seam: they run against whatever bytes a crash left behind, and the
-// crash suite injects corruption there directly at the byte level.
+// The filesystem seam. Every filesystem operation the durability paths
+// perform — segment/part/manifest creation, writes, fsyncs, renames,
+// removals, directory fsyncs, and since the incremental-checkpoint work
+// also the read side (directory listings, manifest/part/segment reads,
+// quarantine writes and truncation) — goes through one FS value, so a
+// fault-injection implementation can fail any individual operation at any
+// point in a run, including during Open/recovery. The crash suite and the
+// torture harness (internal/torture) drive FaultFS; production stores use
+// the default OS implementation. Byte-level corruption (flips, torn tails)
+// is still injected directly on the files; the seam injects I/O errors.
 
 import (
 	"io"
@@ -39,6 +39,15 @@ type FS interface {
 	// SyncDir fsyncs a directory, making a just-renamed or just-created
 	// name durable.
 	SyncDir(dir string) error
+	// ReadDir lists the file names in a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile reads a whole file (recovery's manifest/part/segment loads).
+	ReadFile(path string) ([]byte, error)
+	// WriteFile writes a whole file non-atomically (quarantine side files;
+	// durable artifacts go through Create + writeAtomicFS instead).
+	WriteFile(path string, data []byte) error
+	// Truncate cuts a file to size (recovery dropping a torn WAL tail).
+	Truncate(path string, size int64) error
 }
 
 // osFS is the production FS: straight passthrough to the os package.
@@ -47,6 +56,26 @@ type osFS struct{}
 func (osFS) Create(path string) (File, error)    { return os.Create(path) }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(path string) error             { return os.Remove(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) WriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
 
 func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
@@ -102,10 +131,17 @@ const (
 	OpRename
 	OpRemove
 	OpSyncDir
+	OpReadDir
+	OpReadFile
+	OpWriteFile
+	OpTruncate
 	numOps
 )
 
-var opNames = [numOps]string{"create", "write", "sync", "close", "rename", "remove", "syncdir"}
+var opNames = [numOps]string{
+	"create", "write", "sync", "close", "rename", "remove", "syncdir",
+	"readdir", "readfile", "writefile", "truncate",
+}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {
@@ -252,6 +288,34 @@ func (f *FaultFS) SyncDir(dir string) error {
 		return err
 	}
 	return f.base().SyncDir(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err, _ := f.check(OpReadDir, dir); err != nil {
+		return nil, err
+	}
+	return f.base().ReadDir(dir)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err, _ := f.check(OpReadFile, path); err != nil {
+		return nil, err
+	}
+	return f.base().ReadFile(path)
+}
+
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	if err, _ := f.check(OpWriteFile, path); err != nil {
+		return err
+	}
+	return f.base().WriteFile(path, data)
+}
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if err, _ := f.check(OpTruncate, path); err != nil {
+		return err
+	}
+	return f.base().Truncate(path, size)
 }
 
 // faultFile routes a file's write/sync/close through the owning FaultFS.

@@ -16,11 +16,30 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"strdict/internal/colstore"
 	"strdict/internal/dict"
 	"strdict/internal/intcomp"
 )
+
+// CheckpointStats summarizes the most recent manifest publication: how many
+// part files the checkpoint actually wrote versus re-referenced from the
+// previous manifest, and how many bytes hit disk. A store-wide checkpoint
+// with one dirty column out of N reports PartsWritten == 1 and
+// PartsReused == N-1 — the incremental-checkpoint invariant the bench gate
+// (scripts/bench_incremental_ckpt.sh) holds us to.
+type CheckpointStats struct {
+	// PartsWritten is the number of p%08d.part files written.
+	PartsWritten int
+	// PartsReused is the number of columns whose existing part file the new
+	// manifest re-references unchanged.
+	PartsReused int
+	// PartBytes is the total size of the part files written.
+	PartBytes uint64
+	// ManifestBytes is the size of the manifest itself.
+	ManifestBytes uint64
+}
 
 // colState is the journal's record of one column.
 type colState struct {
@@ -38,6 +57,21 @@ type colState struct {
 	// Guarded by journal.mu.
 	persisted uint64
 	file      string // part file base name, "" before the first checkpoint
+
+	// Dirtiness: how stale the column's part file is. A checkpoint rewrites
+	// a column's part iff one of these is non-zero (or the column has rows
+	// but no part yet); clean columns re-reference their existing part in
+	// the new manifest. dirtyMerges counts main-part publications since the
+	// part was last written (string columns — delta appends ride in the WAL
+	// and do not stale the part); dirtyRows counts appends since (numeric
+	// columns, whose part snapshots the full value slice). Both are bumped
+	// on the hot paths without journal.mu, hence atomics; the checkpoint
+	// loads them *before* reading the column and subtracts the loaded value
+	// after a successful write, so a concurrent publication can only leave
+	// a residual (spurious rewrite later), never a silently clean stale
+	// part.
+	dirtyMerges atomic.Uint64
+	dirtyRows   atomic.Uint64
 }
 
 type journal struct {
@@ -61,6 +95,16 @@ type journal struct {
 	prevPersisted      map[uint32]uint64
 	prevManifestWalSeq uint64 // active WAL segment when prev manifest was written
 	ckptErr            error  // sticky checkpoint failure
+
+	// wrotePart records part files this process wrote. GC uses it to tell a
+	// part it superseded itself (safe to delete) from one it knows nothing
+	// about (quarantined, never silently dropped). Guarded by mu.
+	wrotePart map[string]bool
+
+	// Per-cycle checkpoint accounting (guarded by mu): curStats accumulates
+	// between manifests, lastStats is the last published cycle.
+	curStats  CheckpointStats
+	lastStats CheckpointStats
 }
 
 // DDL events. Dedupe by name: SetJournal re-announces schema that recovery
@@ -137,12 +181,14 @@ func (j *journal) JournalAppend(column string, value string) {
 
 func (j *journal) JournalAppendInt64(column string, value int64) {
 	if st := j.lookup(column); st != nil {
+		st.dirtyRows.Add(1)
 		j.w.append(encAppendU64(recAppendInt, st.id, uint64(value)), true, st.id)
 	}
 }
 
 func (j *journal) JournalAppendFloat64(column string, value float64) {
 	if st := j.lookup(column); st != nil {
+		st.dirtyRows.Add(1)
 		j.w.append(encAppendU64(recAppendFloat, st.id, math.Float64bits(value)), true, st.id)
 	}
 }
@@ -155,6 +201,7 @@ func (j *journal) JournalMainPart(column string, d dict.Dictionary, codes intcom
 	if st == nil {
 		return
 	}
+	st.dirtyMerges.Add(1)
 	j.w.append(encMerge(st.id, uint64(nMain)), false, 0)
 	if j.disableCkpt {
 		return
@@ -188,8 +235,12 @@ func (j *journal) writeDurable(path string, data []byte) error {
 }
 
 // checkpointStringLocked writes a string column's main part to a fresh part
-// file and points the column's state at it. Caller holds mu.
+// file and points the column's state at it. The merge-publication counter is
+// loaded before the part bytes are taken and subtracted after the write, so
+// a publication racing the write leaves a residual (and a rewrite at the
+// next checkpoint) instead of a stale part marked clean. Caller holds mu.
 func (j *journal) checkpointStringLocked(st *colState, d dict.Dictionary, codes intcomp.Vector, rows uint64) error {
+	dm := st.dirtyMerges.Load()
 	data, err := encStringPart(d, codes)
 	if err != nil {
 		return err
@@ -200,6 +251,9 @@ func (j *journal) checkpointStringLocked(st *colState, d dict.Dictionary, codes 
 	}
 	st.persisted = rows
 	st.file = file
+	if dm != 0 {
+		st.dirtyMerges.Add(^(dm - 1))
+	}
 	j.regMu.Lock()
 	st.format = d.Format()
 	j.regMu.Unlock()
@@ -215,11 +269,16 @@ func (j *journal) writePartLocked(data []byte) (string, error) {
 		return "", err
 	}
 	j.fileSeq++
-	return filepath.Base(path), nil
+	name := filepath.Base(path)
+	j.wrotePart[name] = true
+	j.curStats.PartsWritten++
+	j.curStats.PartBytes += uint64(len(data))
+	return name, nil
 }
 
-// checkpointAll persists every column — string main parts plus full numeric
-// slices — then writes a manifest. String delta rows stay in the WAL. It is
+// checkpointAll persists every dirty column — string main parts plus full
+// numeric slices — then writes a manifest that re-references the existing
+// part files of clean columns. String delta rows stay in the WAL. It is
 // safe against concurrent string appends and merges; concurrent numeric
 // appends must be quiesced (numeric Append is not goroutine-safe anyway).
 func (j *journal) checkpointAll() error {
@@ -236,7 +295,10 @@ func (j *journal) checkpointAll() error {
 				continue
 			}
 			d, codes, n := c.MainParts()
-			if uint64(n) == st.persisted && (st.file != "" || n == 0) {
+			// Dirty iff a merge published since the part was written, the
+			// part no longer matches the main length (e.g. restored state),
+			// or the column has main rows but no part yet.
+			if st.dirtyMerges.Load() == 0 && uint64(n) == st.persisted && (st.file != "" || n == 0) {
 				continue
 			}
 			if err := j.checkpointStringLocked(st, d, codes, uint64(n)); err != nil {
@@ -269,8 +331,11 @@ func (j *journal) checkpointInt64Locked(c *colstore.Int64Column) error {
 	if st == nil {
 		return nil
 	}
+	// Load the append counter before snapshotting the values: rows appended
+	// after the load stay dirty and force the next checkpoint to rewrite.
+	dr := st.dirtyRows.Load()
 	n := c.Len()
-	if uint64(n) == st.persisted && (st.file != "" || n == 0) {
+	if dr == 0 && uint64(n) == st.persisted && (st.file != "" || n == 0) {
 		return nil
 	}
 	vals := make([]int64, n)
@@ -283,6 +348,9 @@ func (j *journal) checkpointInt64Locked(c *colstore.Int64Column) error {
 	}
 	st.persisted = uint64(n)
 	st.file = file
+	if dr != 0 {
+		st.dirtyRows.Add(^(dr - 1))
+	}
 	return nil
 }
 
@@ -291,8 +359,9 @@ func (j *journal) checkpointFloat64Locked(c *colstore.Float64Column) error {
 	if st == nil {
 		return nil
 	}
+	dr := st.dirtyRows.Load()
 	n := c.Len()
-	if uint64(n) == st.persisted && (st.file != "" || n == 0) {
+	if dr == 0 && uint64(n) == st.persisted && (st.file != "" || n == 0) {
 		return nil
 	}
 	vals := make([]float64, n)
@@ -305,6 +374,9 @@ func (j *journal) checkpointFloat64Locked(c *colstore.Float64Column) error {
 	}
 	st.persisted = uint64(n)
 	st.file = file
+	if dr != 0 {
+		st.dirtyRows.Add(^(dr - 1))
+	}
 	return nil
 }
 
@@ -328,15 +400,38 @@ func (j *journal) writeManifestLocked() error {
 	j.regMu.RUnlock()
 	sort.Slice(cols, func(a, b int) bool { return cols[a].id < cols[b].id })
 
+	// Sample the active WAL segment before writing: every segment sealed
+	// before this point has seq < activeSeq, so its DDL is contained in the
+	// manifest — the property the recorded walSeq promises.
+	activeSeq := j.w.activeSeq()
 	seq := j.manifestSeq
-	if err := j.writeDurable(manifestPath(j.dir, seq), encManifest(seq, cols)); err != nil {
+	data := encManifest(seq, activeSeq, cols)
+	if err := j.writeDurable(manifestPath(j.dir, seq), data); err != nil {
 		return err
 	}
 	j.manifestSeq++
 
+	// Publish the cycle's stats: reused = columns with a part file minus the
+	// parts this cycle wrote.
+	j.curStats.ManifestBytes = uint64(len(data))
+	withFile := 0
+	for _, c := range cols {
+		if c.file != "" {
+			withFile++
+		}
+	}
+	if r := withFile - j.curStats.PartsWritten; r > 0 {
+		j.curStats.PartsReused = r
+	}
+	j.lastStats = j.curStats
+	j.curStats = CheckpointStats{}
+
 	// Truncate: a row is durably checkpointed only if both retained
-	// manifests cover it, so the cover is the elementwise minimum — a
-	// corrupt newest manifest must still leave the fallback replayable.
+	// manifests cover it, so the floor is the elementwise minimum of this
+	// manifest's rows and the previous one's — a corrupt newest manifest
+	// must still leave the fallback replayable. The ceiling is the segment
+	// that was active when the *older* retained manifest was written: both
+	// retained manifests provably contain the schema of anything below it.
 	cur := make(map[uint32]uint64, len(cols))
 	cover := make(map[uint32]uint64, len(cols))
 	for _, c := range cols {
@@ -347,7 +442,6 @@ func (j *journal) writeManifestLocked() error {
 			cover[c.id] = c.rows
 		}
 	}
-	activeSeq := j.w.activeSeq()
 	j.w.deleteCovered(cover, j.prevManifestWalSeq)
 	j.gcLocked()
 	j.prevPersisted = cur
@@ -355,53 +449,99 @@ func (j *journal) writeManifestLocked() error {
 	return nil
 }
 
-// gcLocked removes manifests older than the two newest and part files
-// neither of those references, plus stray .tmp files. Caller holds mu.
+// gcLocked collects checkpoint files by manifest reachability. Retention is
+// the two newest *readable* manifests — retaining by raw sequence number
+// would let one corrupt newest manifest stall GC forever, or worse, count
+// toward the two and strand the only readable fallback. Part files are kept
+// iff a retained manifest references them; an unreferenced part this process
+// wrote (superseded by its own later checkpoints, or left by a failed
+// manifest write) or that an older readable manifest still names is deleted,
+// while an unknown unreferenced part — the signature of a crash between part
+// write and manifest commit — is quarantined under a .orphan suffix, never
+// silently dropped. Manifests proven corrupt (read succeeded, decode failed)
+// are quarantined too; a failed read aborts the round instead, since a
+// transient I/O fault is indistinguishable from corruption. Caller holds mu.
 // Errors are ignored: GC retries at every checkpoint.
 func (j *journal) gcLocked() {
-	entries, err := os.ReadDir(j.dir)
+	names, err := j.fs.ReadDir(j.dir)
 	if err != nil {
 		return
 	}
-	var manifests []uint64
-	for _, e := range entries {
-		if seq, ok := parseManifestSeq(e.Name()); ok {
-			manifests = append(manifests, seq)
-		}
+	type manifest struct {
+		seq  uint64
+		name string
+		cols []manifestCol
 	}
-	sort.Slice(manifests, func(a, b int) bool { return manifests[a] > manifests[b] })
-	if len(manifests) < 2 {
+	var readable []manifest
+	var corrupt []string
+	for _, name := range names {
+		seq, ok := parseManifestSeq(name)
+		if !ok {
+			continue
+		}
+		b, err := j.fs.ReadFile(filepath.Join(j.dir, name))
+		if err != nil {
+			return // can't tell fault from corruption: skip this round
+		}
+		_, _, cols, derr := decManifest(b)
+		if derr != nil {
+			corrupt = append(corrupt, name)
+			continue
+		}
+		readable = append(readable, manifest{seq: seq, name: name, cols: cols})
+	}
+	for _, name := range corrupt {
+		p := filepath.Join(j.dir, name)
+		j.fs.Rename(p, p+".quarantine")
+	}
+	if len(readable) == 0 {
 		return
 	}
-	keep := manifests[:2]
+	sort.Slice(readable, func(a, b int) bool { return readable[a].seq > readable[b].seq })
+	retain := readable
+	if len(retain) > 2 {
+		retain = retain[:2]
+	}
 	referenced := make(map[string]bool)
-	for _, seq := range keep {
-		b, err := os.ReadFile(manifestPath(j.dir, seq))
-		if err != nil {
-			return // conservative: unknown references, skip this round
-		}
-		_, cols, err := decManifest(b)
-		if err != nil {
-			return
-		}
-		for _, c := range cols {
+	for _, m := range retain {
+		for _, c := range m.cols {
 			if c.file != "" {
 				referenced[c.file] = true
 			}
 		}
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if seq, ok := parseManifestSeq(name); ok && seq < keep[1] {
-			j.fs.Remove(filepath.Join(j.dir, name))
+	// Parts named only by manifests now rotating out are superseded, not
+	// orphaned: deletable even though no process wrote them this lifetime.
+	superseded := make(map[string]bool)
+	for _, m := range readable[len(retain):] {
+		for _, c := range m.cols {
+			if c.file != "" && !referenced[c.file] {
+				superseded[c.file] = true
+			}
 		}
+		j.fs.Remove(filepath.Join(j.dir, m.name))
+	}
+	for _, name := range names {
 		if _, ok := parsePartSeq(name); ok && !referenced[name] {
-			j.fs.Remove(filepath.Join(j.dir, name))
+			if j.wrotePart[name] || superseded[name] {
+				j.fs.Remove(filepath.Join(j.dir, name))
+			} else {
+				p := filepath.Join(j.dir, name)
+				j.fs.Rename(p, p+".orphan")
+			}
+			delete(j.wrotePart, name)
 		}
 		if filepath.Ext(name) == ".tmp" {
 			j.fs.Remove(filepath.Join(j.dir, name))
 		}
 	}
+}
+
+// stats returns the last published checkpoint cycle's accounting.
+func (j *journal) stats() CheckpointStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastStats
 }
 
 // err returns the sticky WAL or checkpoint failure, if any.

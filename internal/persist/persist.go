@@ -78,13 +78,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	r, err := recoverDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("persist: recover %s: %w", dir, err)
-	}
 	fsys := opts.FS
 	if fsys == nil {
 		fsys = OS
+	}
+	r, err := recoverDir(dir, fsys)
+	if err != nil {
+		return nil, fmt.Errorf("persist: recover %s: %w", dir, err)
 	}
 	health := newHealthTracker(opts.OnHealth)
 	retry := newRetryPolicy(opts.RetryLimit, opts.RetryBackoff)
@@ -101,19 +101,34 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("persist: open wal: %w", err)
 	}
 	j := &journal{
-		dir:         dir,
-		w:           w,
-		store:       r.store,
-		disableCkpt: opts.DisableCheckpointOnMerge,
-		fs:          fsys,
-		retry:       retry,
-		health:      health,
-		byName:      r.byName,
-		byID:        r.byID,
-		tables:      r.tables,
-		nextID:      r.nextID,
-		manifestSeq: r.nextManifestSeq,
-		fileSeq:     r.nextFileSeq,
+		dir:                dir,
+		w:                  w,
+		store:              r.store,
+		disableCkpt:        opts.DisableCheckpointOnMerge,
+		fs:                 fsys,
+		retry:              retry,
+		health:             health,
+		byName:             r.byName,
+		byID:               r.byID,
+		tables:             r.tables,
+		nextID:             r.nextID,
+		manifestSeq:        r.nextManifestSeq,
+		fileSeq:            r.nextFileSeq,
+		prevManifestWalSeq: r.manifestWalSeq,
+		wrotePart:          make(map[string]bool),
+	}
+	// Seed the truncation floor and per-column dirtiness from what recovery
+	// loaded: the loaded manifest's covered rows are the previous cover, so
+	// one post-recovery checkpoint suffices to truncate, and rows the WAL
+	// replayed beyond a column's part mark the column dirty.
+	j.prevPersisted = make(map[uint32]uint64, len(r.byID))
+	for id, st := range r.byID {
+		j.prevPersisted[id] = st.persisted
+		if st.kind != partStr {
+			if n := r.counts[id]; n > st.persisted {
+				st.dirtyRows.Store(n - st.persisted)
+			}
+		}
 	}
 	r.store.SetJournal(j)
 	return &Store{Store: r.store, j: j, health: health, info: r.info}, nil
@@ -125,12 +140,18 @@ func (s *Store) Recovery() RecoveryInfo { return s.info }
 // Sync blocks until every previously appended row is durable.
 func (s *Store) Sync() error { return s.j.w.sync() }
 
-// Checkpoint persists every column — merged string main parts and full
-// numeric columns — and truncates the WAL segments this makes redundant.
-// String delta rows stay in the WAL until a merge folds them. Safe against
-// concurrent string appends and merges; quiesce numeric appends first
-// (numeric Append is not goroutine-safe to begin with).
+// Checkpoint persists every dirty column — merged string main parts and
+// full numeric columns — writes a manifest re-referencing the existing part
+// files of clean columns, and truncates the WAL segments this makes
+// redundant. String delta rows stay in the WAL until a merge folds them.
+// Safe against concurrent string appends and merges; quiesce numeric
+// appends first (numeric Append is not goroutine-safe to begin with).
 func (s *Store) Checkpoint() error { return s.j.checkpointAll() }
+
+// LastCheckpoint reports the most recent checkpoint's accounting: part
+// files written versus re-referenced and the bytes that hit disk. Zero
+// before the first checkpoint of this process.
+func (s *Store) LastCheckpoint() CheckpointStats { return s.j.stats() }
 
 // Err reports a sticky background failure: a WAL write/fsync error or a
 // failed merge-time checkpoint. A store with a non-nil Err keeps serving

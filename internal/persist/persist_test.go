@@ -144,7 +144,7 @@ func TestStoreCheckpointCoversNumericAndTruncatesWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := fillStore(t, s, 200) // several rotations at 512B segments
-	segsFill, _ := listWALSegments(dir)
+	segsFill, _ := listWALSegments(OS, dir)
 	if len(segsFill) < 4 {
 		t.Fatalf("expected several WAL segments after fill, got %d", len(segsFill))
 	}
@@ -158,7 +158,7 @@ func TestStoreCheckpointCoversNumericAndTruncatesWAL(t *testing.T) {
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	segsAfter, _ := listWALSegments(dir)
+	segsAfter, _ := listWALSegments(OS, dir)
 	if len(segsAfter) >= len(segsFill) {
 		t.Fatalf("WAL not truncated: %d -> %d segments", len(segsFill), len(segsAfter))
 	}

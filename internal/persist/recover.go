@@ -24,7 +24,6 @@ package persist
 
 import (
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 
@@ -62,6 +61,7 @@ type RecoveryInfo struct {
 type recovered struct {
 	store *colstore.Store
 	info  RecoveryInfo
+	fs    FS // every read/quarantine goes through the seam
 
 	// Registry state for the journal.
 	byName map[string]*colState
@@ -76,6 +76,12 @@ type recovered struct {
 
 	nextManifestSeq uint64
 	nextFileSeq     uint64
+
+	// manifestWalSeq is the loaded manifest's recorded active WAL segment
+	// (zero for v1/v2 manifests and fresh stores). It seeds the journal's
+	// truncation ceiling so a single post-recovery checkpoint can truncate,
+	// instead of resetting the previous-cover state to zero.
+	manifestWalSeq uint64
 }
 
 // columns indexes live colstore columns by journal id during replay.
@@ -104,9 +110,14 @@ func (lc *liveCols) colLen(st *colState) uint64 {
 	return 0
 }
 
-// recoverDir rebuilds the store and journal state from dir.
-func recoverDir(dir string) (*recovered, error) {
+// recoverDir rebuilds the store and journal state from dir. All reads go
+// through fsys, so the fault suite can inject I/O errors at any point of
+// Open: a failed manifest or part read falls back manifest-by-manifest like
+// corruption does, while a failed WAL read aborts Open — replaying around an
+// unreadable segment would silently lose acknowledged rows.
+func recoverDir(dir string, fsys FS) (*recovered, error) {
 	r := &recovered{
+		fs:     fsys,
 		byName: make(map[string]*colState),
 		byID:   make(map[uint32]*colState),
 		tables: make(map[string]bool),
@@ -119,17 +130,17 @@ func recoverDir(dir string) (*recovered, error) {
 		table: make(map[string]*colstore.Table),
 	}
 
-	entries, err := os.ReadDir(dir)
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var manifests []uint64
 	maxPart := int64(-1)
-	for _, e := range entries {
-		if seq, ok := parseManifestSeq(e.Name()); ok {
+	for _, name := range names {
+		if seq, ok := parseManifestSeq(name); ok {
 			manifests = append(manifests, seq)
 		}
-		if seq, ok := parsePartSeq(e.Name()); ok && int64(seq) > maxPart {
+		if seq, ok := parsePartSeq(name); ok && int64(seq) > maxPart {
 			maxPart = int64(seq)
 		}
 	}
@@ -164,10 +175,11 @@ func recoverDir(dir string) (*recovered, error) {
 		clear(lc.table)
 		r.nextID = 0
 		r.info.CheckpointRows = 0
+		r.manifestWalSeq = 0
 	}
 
 	// Steps 2+3: scan and replay the WAL.
-	segs, err := listWALSegments(dir)
+	segs, err := listWALSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -194,11 +206,11 @@ func recoverDir(dir string) (*recovered, error) {
 // or any referenced part file does not verify. On failure the partially
 // built state is discarded by the caller re-running with fresh maps.
 func (r *recovered) tryLoadManifest(dir string, seq uint64, lc *liveCols) (*colstore.Store, error) {
-	b, err := os.ReadFile(manifestPath(dir, seq))
+	b, err := r.fs.ReadFile(manifestPath(dir, seq))
 	if err != nil {
 		return nil, err
 	}
-	mseq, cols, err := decManifest(b)
+	mseq, walSeq, cols, err := decManifest(b)
 	if err != nil {
 		return nil, err
 	}
@@ -216,6 +228,7 @@ func (r *recovered) tryLoadManifest(dir string, seq uint64, lc *liveCols) (*cols
 	clear(lc.table)
 	r.nextID = 0
 	r.info.CheckpointRows = 0
+	r.manifestWalSeq = walSeq
 
 	for _, mc := range cols {
 		name := mc.table + "." + mc.column
@@ -239,7 +252,7 @@ func (r *recovered) tryLoadManifest(dir string, seq uint64, lc *liveCols) (*cols
 		var body []byte
 		var rows uint64
 		if mc.file != "" {
-			pb, err := os.ReadFile(filepath.Join(dir, mc.file))
+			pb, err := r.fs.ReadFile(filepath.Join(dir, mc.file))
 			if err != nil {
 				return nil, err
 			}
@@ -302,19 +315,22 @@ func (r *recovered) tryLoadManifest(dir string, seq uint64, lc *liveCols) (*cols
 // truncates the segment to its valid prefix.
 func (r *recovered) quarantine(path string, b []byte, off int) {
 	q := path + ".quarantine"
-	if err := os.WriteFile(q, b[off:], 0o644); err == nil {
+	if err := r.fs.WriteFile(q, b[off:]); err == nil {
 		r.info.Quarantined = append(r.info.Quarantined, q)
 	}
-	os.Truncate(path, int64(off))
+	r.fs.Truncate(path, int64(off))
 	r.info.TornBytes += int64(len(b) - off)
 }
 
-// replay scans the segments in order, applying records to the store.
+// replay scans the segments in order, applying records to the store. A
+// segment read error fails recovery outright — unlike a corrupt frame, an
+// I/O fault says nothing about where the valid prefix ends, so replaying
+// around it could misplace every later row.
 func (r *recovered) replay(dir string, segs []segmentInfo, lc *liveCols) error {
 	cnt := make(map[uint32]uint64) // running absolute record index per column
 	for i := range segs {
 		seg := &segs[i]
-		b, err := os.ReadFile(seg.path)
+		b, err := r.fs.ReadFile(seg.path)
 		if err != nil {
 			return err
 		}

@@ -114,16 +114,16 @@ func parseWALSeq(name string) (uint64, bool) {
 }
 
 // listWALSegments returns the segment files in dir in ascending sequence
-// order.
-func listWALSegments(dir string) ([]segmentInfo, error) {
-	entries, err := os.ReadDir(dir)
+// order, listing through the FS seam so recovery faults are injectable.
+func listWALSegments(fsys FS, dir string) ([]segmentInfo, error) {
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var segs []segmentInfo
-	for _, e := range entries {
-		if seq, ok := parseWALSeq(e.Name()); ok {
-			segs = append(segs, segmentInfo{seq: seq, path: filepath.Join(dir, e.Name())})
+	for _, name := range names {
+		if seq, ok := parseWALSeq(name); ok {
+			segs = append(segs, segmentInfo{seq: seq, path: filepath.Join(dir, name)})
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })

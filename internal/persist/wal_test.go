@@ -127,7 +127,7 @@ func TestWALRotationAndHeaders(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listWALSegments(dir)
+	segs, err := listWALSegments(OS, dir)
 	if err != nil || len(segs) < 3 {
 		t.Fatalf("segments = %d (err %v), want several", len(segs), err)
 	}

@@ -5,6 +5,7 @@ package torture
 // degradation).
 
 import (
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -13,6 +14,17 @@ import (
 )
 
 func isWALPath(path string) bool { return strings.HasSuffix(path, ".log") }
+
+// isManifestFile and isPartFile match checkpoint artifacts by basename; both
+// also match the ".tmp" staging names writeAtomic creates first, which is the
+// path a Create fault must land on.
+func isManifestFile(path string) bool {
+	return strings.HasPrefix(filepath.Base(path), "manifest-")
+}
+
+func isPartFile(path string) bool {
+	return strings.Contains(filepath.Base(path), ".part")
+}
 
 // opConcurrentBurst runs appenders, snapshot readers, partial merges and a
 // checkpoint concurrently — the race-detector surface of the harness. All
@@ -196,6 +208,77 @@ func (h *harness) crashAndRecover() error {
 	h.floatModel = h.floatModel[:nf]
 	h.intFloor = ni
 	return nil
+}
+
+// opIncrementalCheckpoint checks the incremental-checkpoint contract as a
+// scheduled step: fresh rows land on every column, a baseline checkpoint
+// leaves every column clean, then exactly one string column is dirtied (the
+// merge folds its fresh delta and publishes a new main part). The merge's
+// own synchronous checkpoint must rewrite exactly that one part, and a
+// follow-up explicit checkpoint over the now-clean store must rewrite none
+// — every part is re-referenced by its new manifest, not rewritten.
+func (h *harness) opIncrementalCheckpoint() error {
+	if err := h.opAppendBatch(); err != nil {
+		return err
+	}
+	if err := h.s.Checkpoint(); err != nil {
+		return h.fail("incremental checkpoint: baseline: %v", err)
+	}
+	c := h.cols[h.rng.Intn(len(h.cols))]
+	ec := h.s.Table("t").Str(c.name)
+	res := ec.Merge(ec.Format())
+	if err := h.checkHealthy("incremental-checkpoint merge"); err != nil {
+		return err
+	}
+	merged := h.s.LastCheckpoint()
+	if res.Folded > 0 && merged.PartsWritten != 1 {
+		return h.fail("incremental checkpoint: merge folded %d rows into %s but its checkpoint rewrote %d parts (reused %d)",
+			res.Folded, c.name, merged.PartsWritten, merged.PartsReused)
+	}
+	if err := h.s.Checkpoint(); err != nil {
+		return h.fail("incremental checkpoint: %v", err)
+	}
+	if clean := h.s.LastCheckpoint(); clean.PartsWritten != 0 {
+		return h.fail("incremental checkpoint: clean checkpoint rewrote %d parts (reused %d)",
+			clean.PartsWritten, clean.PartsReused)
+	}
+	h.logf("step %d: incremental checkpoint %s (merge wrote %d, reused %d parts)",
+		h.step, c.name, merged.PartsWritten, merged.PartsReused)
+	h.raiseFloors()
+	return nil
+}
+
+// opCrashMidCheckpoint kills a checkpoint in flight — a permanent Create
+// fault on either the manifest or the part path — then crashes and recovers.
+// The surviving manifest generation predates the failed checkpoint and, after
+// earlier incremental checkpoints, typically mixes re-referenced old parts
+// with rewritten ones; recovery must still be bit-identical (crashAndRecover
+// runs oracle 4, and Run's post-step oracles do the full comparison). The
+// orphaned part or manifest .tmp the crash leaves behind is the GC
+// quarantine path's problem, exercised by later checkpoints in the run.
+func (h *harness) opCrashMidCheckpoint() error {
+	h.drainEvents()
+	target, match := "manifest", isManifestFile
+	if h.rng.Intn(2) == 0 {
+		target, match = "part", isPartFile
+	}
+	// Dirty one column so the checkpoint actually attempts a part write.
+	c := h.cols[h.rng.Intn(len(h.cols))]
+	ec := h.s.Table("t").Str(c.name)
+	ec.Merge(ec.Format())
+	if err := h.checkHealthy("crash-mid-checkpoint merge"); err != nil {
+		return err
+	}
+	h.ffs.FailAll(persist.OpCreate, errInjected, match)
+	err := h.s.Checkpoint()
+	h.logf("step %d: crash mid-checkpoint (%s create faulted, checkpoint err=%v)", h.step, target, err)
+	// The manifest is written on every checkpoint, so that fault must
+	// surface; a part fault may be dodged when the merge above published
+	// nothing (empty column), which a successful checkpoint then skips.
+	if target == "manifest" && err == nil {
+		return h.fail("crash mid-checkpoint: manifest create faulted but checkpoint succeeded")
+	}
+	return h.crashAndRecover()
 }
 
 // opTransientFault injects a fault burst shorter than the retry budget into

@@ -3,8 +3,9 @@
 // internal/datagen), drives randomized — and partially concurrent —
 // interleavings of Append / Merge / MergePartial / Snapshot reads /
 // Checkpoint / crash / recover against a persistent store with a
-// fault-injecting filesystem underneath, and checks four oracles after
-// every step:
+// fault-injecting filesystem underneath — including incremental checkpoints
+// (dirty one column, assert only its part is rewritten) and checkpoints
+// killed mid-flight by a fault — and checks four oracles after every step:
 //
 //  1. engine vs a naive in-memory model store (per-column value slices),
 //  2. kernel ScanEq/ScanRange/CountEq vs their scalar oracles with zone
@@ -152,21 +153,25 @@ func Run(cfg Config) error {
 	for h.step = 1; h.step <= cfg.Steps; h.step++ {
 		var err error
 		switch pick := h.rng.Intn(100); {
-		case pick < 30:
+		case pick < 28:
 			err = h.opAppendBatch()
-		case pick < 45:
+		case pick < 42:
 			err = h.opConcurrentBurst()
-		case pick < 55:
+		case pick < 50:
 			err = h.opFullMerge()
-		case pick < 65:
+		case pick < 58:
 			err = h.opPartialMerge()
-		case pick < 72:
+		case pick < 64:
 			err = h.opCheckpoint()
-		case pick < 80:
+		case pick < 71:
+			err = h.opIncrementalCheckpoint()
+		case pick < 78:
 			err = h.opCrashRecover()
-		case pick < 88:
+		case pick < 84:
+			err = h.opCrashMidCheckpoint()
+		case pick < 90:
 			err = h.opTransientFault()
-		case pick < 92:
+		case pick < 94:
 			err = h.opPermanentFault()
 		default:
 			err = h.opCrossFormat()

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Incremental-checkpoint gate: runs BenchmarkIncrementalCheckpoint (bytes
+# written per checkpoint on a 16-column store, everything dirty vs one
+# column dirty) and writes BENCH_incremental_ckpt.json at the repo root.
+# The headline number is the byte reduction of the 1-dirty-of-16 checkpoint
+# over the full rewrite — the whole point of tracking per-column dirtiness
+# and re-referencing clean parts in the manifest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_incremental_ckpt.txt
+go test -run '^$' -bench 'BenchmarkIncrementalCheckpoint' \
+    -benchtime=200ms -count=1 ./internal/persist/ | tee "$out"
+
+awk '
+/^BenchmarkIncrementalCheckpoint\// {
+    name = $1
+    sub(/^BenchmarkIncrementalCheckpoint\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    nsop[name] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "bytes/op") bytes[name] = $i
+        if ($(i+1) == "parts/op") parts[name] = $i
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"incremental_checkpoint\",\n"
+    printf "  \"ckpt_ns_per_op\": {\"full\": %s, \"dirty1\": %s},\n", \
+        nsop["full"], nsop["1of16"]
+    printf "  \"ckpt_bytes_per_op\": {\"full\": %s, \"dirty1\": %s},\n", \
+        bytes["full"], bytes["1of16"]
+    printf "  \"ckpt_parts_per_op\": {\"full\": %s, \"dirty1\": %s},\n", \
+        parts["full"], parts["1of16"]
+    printf "  \"bytes_reduction\": %.2f\n", bytes["full"] / bytes["1of16"]
+    printf "}\n"
+}' "$out" > BENCH_incremental_ckpt.json
+rm -f "$out"
+
+cat BENCH_incremental_ckpt.json
+
+# Gates: a 1-dirty-of-16 checkpoint must rewrite exactly one part and write
+# at least 4x fewer bytes than the full rewrite.
+awk '
+/"ckpt_parts_per_op"/ {
+    p = $0; sub(/.*"dirty1": /, "", p); sub(/}.*/, "", p)
+    if (p + 0 != 1) {
+        printf "FAIL: 1-dirty-of-16 checkpoint rewrote %s parts, want 1\n", p
+        exit 1
+    }
+    printf "OK: 1-dirty-of-16 checkpoint rewrites %s part\n", p
+}
+/"bytes_reduction"/ {
+    r = $0; sub(/.*"bytes_reduction": /, "", r); sub(/[,} ].*/, "", r)
+    if (r + 0 < 4.0) {
+        printf "FAIL: incremental checkpoint writes only %sx fewer bytes (< 4x floor)\n", r
+        exit 1
+    }
+    printf "OK: incremental checkpoint writes %sx fewer bytes than a full rewrite\n", r
+}' BENCH_incremental_ckpt.json

@@ -31,6 +31,15 @@ if [ -f BENCH_scan_kernels.json ]; then
     ' BENCH_scan_kernels.json
 fi
 
+# Incremental-checkpoint floor: with one of sixteen columns dirty, a
+# checkpoint must write at least 4x fewer bytes than the full rewrite.
+# (make bench regenerates BENCH_incremental_ckpt.json.)
+if [ -f BENCH_incremental_ckpt.json ]; then
+    awk -F': ' '
+    /"bytes_reduction":/ { gsub(/[, ]/, "", $2); if ($2 + 0 < 4.0) { print "FAIL: incremental checkpoint byte-reduction floor"; exit 1 } }
+    ' BENCH_incremental_ckpt.json
+fi
+
 # Torture smoke: the pinned seeds in internal/torture/testdata/seeds.txt
 # replayed deterministically under the race detector (~10s). Every seed
 # drives random append/merge/scan/checkpoint/crash/fault interleavings and

@@ -324,16 +324,29 @@ type FaultFS = persist.FaultFS
 // Op identifies one class of filesystem operation for FaultFS planning.
 type Op = persist.Op
 
-// The FaultFS operation classes.
+// The FaultFS operation classes. The read-side classes (OpReadDir,
+// OpReadFile, OpWriteFile, OpTruncate) cover recovery: manifest and part
+// loads, WAL replay reads, and torn-tail quarantine, so faults can be
+// injected during OpenStore too.
 const (
-	OpCreate  = persist.OpCreate
-	OpWrite   = persist.OpWrite
-	OpSync    = persist.OpSync
-	OpClose   = persist.OpClose
-	OpRename  = persist.OpRename
-	OpRemove  = persist.OpRemove
-	OpSyncDir = persist.OpSyncDir
+	OpCreate    = persist.OpCreate
+	OpWrite     = persist.OpWrite
+	OpSync      = persist.OpSync
+	OpClose     = persist.OpClose
+	OpRename    = persist.OpRename
+	OpRemove    = persist.OpRemove
+	OpSyncDir   = persist.OpSyncDir
+	OpReadDir   = persist.OpReadDir
+	OpReadFile  = persist.OpReadFile
+	OpWriteFile = persist.OpWriteFile
+	OpTruncate  = persist.OpTruncate
 )
+
+// CheckpointStats reports the most recent checkpoint's accounting — part
+// files written versus re-referenced unchanged and the bytes that hit disk
+// — via PersistentStore.LastCheckpoint. A checkpoint with one dirty column
+// out of N writes one part and reuses N-1.
+type CheckpointStats = persist.CheckpointStats
 
 // RecoveryInfo reports what OpenStore found in the directory: the
 // checkpoint it loaded, the WAL rows it replayed, and any torn or corrupt
