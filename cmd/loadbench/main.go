@@ -1,0 +1,222 @@
+// Command loadbench drives a sharded strdict service with a multi-tenant,
+// Zipf-skewed, mixed read/write workload and reports ingest throughput,
+// query latency percentiles, and per-shard balance.
+//
+// By default it starts an in-process server on a loopback listener (so the
+// measured path includes HTTP, JSON, routing, shard locks and the WAL
+// group commit) and tears it down afterwards; -addr points it at an
+// external server instead.
+//
+//	loadbench -shards 4 -tenants 16 -tables 32 -concurrency 16 \
+//	  -duration 3s -read-frac 0.1 -batch 500 -json out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strdict/internal/service"
+)
+
+type report struct {
+	Shards      int     `json:"shards"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	ReadFrac    float64 `json:"read_frac"`
+	BatchRows   int     `json:"batch_rows"`
+	Tenants     int     `json:"tenants"`
+	Tables      int     `json:"tables"`
+
+	IngestRows    uint64  `json:"ingest_rows"`
+	IngestRowsSec float64 `json:"ingest_rows_per_sec"`
+	Appends       uint64  `json:"appends"`
+	Queries       uint64  `json:"queries"`
+	QueriesSec    float64 `json:"queries_per_sec"`
+	QueryP50Ms    float64 `json:"query_p50_ms"`
+	QueryP99Ms    float64 `json:"query_p99_ms"`
+	Errors        uint64  `json:"errors"`
+
+	// Balance is min/max rows over the shards that own at least one table
+	// (1 = perfectly balanced).
+	ShardRows []uint64 `json:"shard_rows,omitempty"`
+	Balance   float64  `json:"balance"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "external server base URL (empty: start an in-process server)")
+		shards      = flag.Int("shards", 4, "shard count for the in-process server")
+		dir         = flag.String("dir", "", "data directory for the in-process server (empty: temp dir, removed afterwards)")
+		tenants     = flag.Int("tenants", 16, "number of tenants")
+		tables      = flag.Int("tables", 32, "tables per tenant, picked Zipf-skewed")
+		zipfS       = flag.Float64("zipf", 1.2, "Zipf skew over tables (>1)")
+		concurrency = flag.Int("concurrency", 16, "concurrent workers")
+		duration    = flag.Duration("duration", 3*time.Second, "measurement duration")
+		readFrac    = flag.Float64("read-frac", 0.1, "fraction of operations that are queries")
+		batch       = flag.Int("batch", 500, "rows per append batch")
+		values      = flag.Int("values", 400, "distinct values per column pool")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		jsonOut     = flag.String("json", "", "write the report as JSON to this file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	base := *addr
+	var srv *service.Server
+	if base == "" {
+		d := *dir
+		if d == "" {
+			tmp, err := os.MkdirTemp("", "loadbench-*")
+			if err != nil {
+				fail(err)
+			}
+			defer os.RemoveAll(tmp)
+			d = tmp
+		}
+		var err error
+		srv, err = service.New(service.Options{Shards: *shards, Dir: d})
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = *concurrency
+	cl := &service.Client{Base: base, HTTP: &http.Client{Transport: transport}}
+
+	var (
+		rows, appends, queries, errs atomic.Uint64
+		mu                           sync.Mutex
+		latencies                    []time.Duration
+		wg                           sync.WaitGroup
+	)
+	deadline := time.Now().Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(*tables-1))
+			local := make([]time.Duration, 0, 4096)
+			vals := make([]string, *batch)
+			for time.Now().Before(deadline) {
+				tenant := fmt.Sprintf("tenant-%03d", rng.Intn(*tenants))
+				table := fmt.Sprintf("table-%03d", zipf.Uint64())
+				if rng.Float64() < *readFrac {
+					probe := fmt.Sprintf("val-%05d", rng.Intn(*values))
+					start := time.Now()
+					_, err := cl.CountEq(tenant, table, "payload", probe)
+					local = append(local, time.Since(start))
+					queries.Add(1)
+					if err != nil {
+						if se, ok := err.(*service.StatusError); !ok || se.Code != http.StatusNotFound {
+							errs.Add(1) // a table no append touched yet 404s; that is workload, not failure
+						}
+					}
+				} else {
+					for i := range vals {
+						vals[i] = fmt.Sprintf("val-%05d", rng.Intn(*values))
+					}
+					_, err := cl.Append([]service.AppendItem{{
+						Tenant: tenant,
+						Table:  table,
+						Strs:   map[string][]string{"payload": vals},
+					}})
+					appends.Add(1)
+					if err != nil {
+						errs.Add(1)
+					} else {
+						rows.Add(uint64(len(vals)))
+					}
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := duration.Seconds()
+
+	rep := report{
+		Shards:      *shards,
+		Concurrency: *concurrency,
+		DurationSec: elapsed,
+		ReadFrac:    *readFrac,
+		BatchRows:   *batch,
+		Tenants:     *tenants,
+		Tables:      *tables,
+
+		IngestRows:    rows.Load(),
+		IngestRowsSec: float64(rows.Load()) / elapsed,
+		Appends:       appends.Load(),
+		Queries:       queries.Load(),
+		QueriesSec:    float64(queries.Load()) / elapsed,
+		Errors:        errs.Load(),
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		rep.QueryP50Ms = float64(latencies[len(latencies)/2]) / float64(time.Millisecond)
+		rep.QueryP99Ms = float64(latencies[len(latencies)*99/100]) / float64(time.Millisecond)
+	}
+	if srv != nil {
+		minR, maxR := uint64(0), uint64(0)
+		for i := 0; i < srv.NumShards(); i++ {
+			r := srv.ShardRows(i)
+			rep.ShardRows = append(rep.ShardRows, r)
+			if i == 0 || r < minR {
+				minR = r
+			}
+			if r > maxR {
+				maxR = r
+			}
+		}
+		if maxR > 0 {
+			rep.Balance = float64(minR) / float64(maxR)
+		}
+	}
+
+	fmt.Printf("loadbench: shards=%d conc=%d dur=%.1fs read=%.0f%%\n",
+		rep.Shards, rep.Concurrency, rep.DurationSec, rep.ReadFrac*100)
+	fmt.Printf("  ingest   %12.0f rows/s  (%d rows, %d batches)\n", rep.IngestRowsSec, rep.IngestRows, rep.Appends)
+	fmt.Printf("  queries  %12.0f q/s     p50 %.2fms  p99 %.2fms\n", rep.QueriesSec, rep.QueryP50Ms, rep.QueryP99Ms)
+	fmt.Printf("  balance  %.2f  shard rows %v  errors %d\n", rep.Balance, rep.ShardRows, rep.Errors)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if rep.Errors > 0 {
+		fail(fmt.Errorf("%d operations failed", rep.Errors))
+	}
+}

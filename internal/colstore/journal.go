@@ -72,33 +72,13 @@ func (s *Store) JournalErr() error {
 // inherit it at creation time. Like all DDL it is not goroutine-safe; call
 // it before concurrent traffic starts. A nil journal detaches.
 func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
 	s.journal = j
-	for _, name := range s.names {
-		t := s.Tables[name]
-		t.journal = j
-		if j != nil {
-			j.JournalAddTable(t.Name)
-		}
-		for _, colName := range t.order {
-			if c, ok := t.strCols[colName]; ok {
-				c.setJournal(j)
-				if j != nil {
-					j.JournalAddString(t.Name, colName, c.Format())
-				}
-			}
-			if c, ok := t.intCols[colName]; ok {
-				c.journal = j
-				if j != nil {
-					j.JournalAddInt64(t.Name, colName)
-				}
-			}
-			if c, ok := t.floatCols[colName]; ok {
-				c.journal = j
-				if j != nil {
-					j.JournalAddFloat64(t.Name, colName)
-				}
-			}
-		}
+	names := make([]string, len(s.names))
+	copy(names, s.names)
+	s.mu.Unlock()
+	for _, name := range names {
+		s.Table(name).setJournal(j)
 	}
 }
 

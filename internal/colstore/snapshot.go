@@ -1,6 +1,8 @@
 package colstore
 
 import (
+	"sync/atomic"
+
 	"strdict/internal/dict"
 	"strdict/internal/intcomp"
 )
@@ -51,6 +53,12 @@ type Snapshot struct {
 	extracts     uint64
 	zonesScanned uint64
 	zonesSkipped uint64
+
+	// inUse backs the misuse assertion compiled into race builds (see
+	// snapshot_guard_race.go): counter-bumping methods CAS it 0->1 on entry
+	// and panic when two goroutines overlap inside the same snapshot. Unused
+	// in normal builds, where enter/exit compile to nothing.
+	inUse atomic.Int32
 }
 
 // Snapshot returns a handle pinning the column's current state. A fully
@@ -83,6 +91,8 @@ func (c *StringColumn) Snapshot() *Snapshot {
 // remain usable afterwards (counts bumped after a Release flush on the
 // next one).
 func (s *Snapshot) Release() {
+	s.enter()
+	defer s.exit()
 	if s.locates != 0 {
 		s.col.locates.Add(s.locates)
 		s.locates = 0
@@ -138,6 +148,8 @@ func (s *Snapshot) Stats() AccessStats { return s.col.Stats() }
 // Get returns the value at the given row (counted as an extract for main
 // rows). No locks are taken.
 func (s *Snapshot) Get(row int) string {
+	s.enter()
+	defer s.exit()
 	v := s.v
 	if row < v.nMain {
 		s.extracts++
@@ -152,6 +164,8 @@ func (s *Snapshot) Get(row int) string {
 // AppendGet appends the value at row to dst (allocation-free main-part
 // read).
 func (s *Snapshot) AppendGet(dst []byte, row int) []byte {
+	s.enter()
+	defer s.exit()
 	v := s.v
 	if row < v.nMain {
 		s.extracts++
@@ -187,6 +201,8 @@ func (s *Snapshot) AppendCodeRange(dst []uint64, start, n int) []uint64 {
 
 // Locate returns the value ID of value in the pinned dictionary (counted).
 func (s *Snapshot) Locate(value string) (uint32, bool) {
+	s.enter()
+	defer s.exit()
 	s.locates++
 	return s.v.dict.Locate(value)
 }
@@ -195,26 +211,36 @@ func (s *Snapshot) Locate(value string) (uint32, bool) {
 // string conversion a Locate call site would pay per probe — the
 // dictionary-translation fast path.
 func (s *Snapshot) LocateBytes(value []byte) (uint32, bool) {
+	s.enter()
+	defer s.exit()
 	s.locates++
 	return dict.LocateBytes(s.v.dict, value)
 }
 
 // Extract returns the string for a pinned-dictionary value ID (counted).
 func (s *Snapshot) Extract(id uint32) string {
+	s.enter()
+	defer s.exit()
 	s.extracts++
 	return s.v.dict.Extract(id)
 }
 
 // AppendExtract is the allocation-free variant of Extract (counted).
 func (s *Snapshot) AppendExtract(dst []byte, id uint32) []byte {
+	s.enter()
+	defer s.exit()
 	s.extracts++
 	return s.v.dict.AppendExtract(dst, id)
 }
 
 // ForEachValue visits every (id, value) pair of the pinned dictionary in
 // id order until fn returns false. Each visit counts as one extract; value
-// is only valid during the call.
+// is only valid during the call. fn must not call back into this snapshot
+// (other snapshots are fine — the dictionary-translation path does exactly
+// that).
 func (s *Snapshot) ForEachValue(fn func(id uint32, value []byte) bool) {
+	s.enter()
+	defer s.exit()
 	s.v.dict.ForEach(func(id uint32, value []byte) bool {
 		s.extracts++
 		return fn(id, value)
@@ -224,6 +250,8 @@ func (s *Snapshot) ForEachValue(fn func(id uint32, value []byte) bool) {
 // CodeRange translates a string range [lo, hi) into a value-ID range
 // [loID, hiID) against the pinned dictionary. Two locates are counted.
 func (s *Snapshot) CodeRange(lo, hi string) (uint32, uint32) {
+	s.enter()
+	defer s.exit()
 	s.locates += 2
 	loID, _ := s.v.dict.Locate(lo)
 	hiID, _ := s.v.dict.Locate(hi)
@@ -235,6 +263,8 @@ func (s *Snapshot) CodeRange(lo, hi string) (uint32, uint32) {
 // min/max admit the code, sealed segments through their interned indexes,
 // and the captured active prefix by direct comparison.
 func (s *Snapshot) ScanEq(value string, out []int) []int {
+	s.enter()
+	defer s.exit()
 	v := s.v
 	s.locates++
 	if id, found := v.dict.Locate(value); found {
@@ -278,6 +308,8 @@ func (s *Snapshot) scanDeltaEq(value string, out []int) []int {
 // locate). The main part is counted with the packed-domain popcount kernel
 // under zone pruning; no row indices are materialized.
 func (s *Snapshot) CountEq(value string) int {
+	s.enter()
+	defer s.exit()
 	v := s.v
 	s.locates++
 	count := 0
@@ -316,6 +348,8 @@ func (s *Snapshot) CountEq(value string) int {
 // segments are skipped via their value bounds, the rest of the delta
 // compares strings.
 func (s *Snapshot) ScanRange(lo, hi string, out []int) []int {
+	s.enter()
+	defer s.exit()
 	v := s.v
 	s.locates += 2
 	loID, _ := v.dict.Locate(lo)
@@ -375,6 +409,8 @@ func (s *Snapshot) scanDeltaRange(lo, hi string, out []int) []int {
 // for the vectorized path and as the benchmark baseline it is gated
 // against.
 func (s *Snapshot) ScanEqScalar(value string, out []int) []int {
+	s.enter()
+	defer s.exit()
 	v := s.v
 	s.locates++
 	if id, found := v.dict.Locate(value); found {
@@ -389,6 +425,8 @@ func (s *Snapshot) ScanEqScalar(value string, out []int) []int {
 
 // ScanRangeScalar is the per-element Get oracle for ScanRange.
 func (s *Snapshot) ScanRangeScalar(lo, hi string, out []int) []int {
+	s.enter()
+	defer s.exit()
 	v := s.v
 	s.locates += 2
 	loID, _ := v.dict.Locate(lo)

@@ -1,0 +1,12 @@
+//go:build !race
+
+package colstore
+
+// snapshotGuarded reports whether the Snapshot misuse assertion is compiled
+// in; see snapshot_guard_race.go. Normal builds keep the read path free of
+// atomics: enter/exit are empty and inline to nothing.
+const snapshotGuarded = false
+
+func (s *Snapshot) enter() {}
+
+func (s *Snapshot) exit() {}

@@ -1,0 +1,24 @@
+//go:build race
+
+package colstore
+
+// snapshotGuarded reports whether the Snapshot misuse assertion is compiled
+// in. Race builds pay one CAS per counter-bumping snapshot method to turn
+// the contract violation "two goroutines inside one snapshot" into an
+// immediate panic; without it the violation merely corrupts plain trace
+// counters, which the race detector only flags when the schedule happens to
+// overlap the increments.
+const snapshotGuarded = true
+
+// enter asserts the snapshot is not already inside a counter-bumping method
+// on another goroutine. The CAS also creates a happens-before edge between
+// clean (non-overlapping) cross-goroutine handoffs, so the detector does not
+// flag the plain counter fields on schedules where the misuse never
+// overlapped — the panic is the signal, not a data-race report.
+func (s *Snapshot) enter() {
+	if !s.inUse.CompareAndSwap(0, 1) {
+		panic("colstore: Snapshot used from multiple goroutines concurrently; a snapshot is a single-goroutine query handle — take one per goroutine (O(1))")
+	}
+}
+
+func (s *Snapshot) exit() { s.inUse.Store(0) }

@@ -1,0 +1,61 @@
+//go:build race
+
+package colstore
+
+import (
+	"strings"
+	"testing"
+
+	"strdict/internal/dict"
+)
+
+// TestSnapshotGuardPanicsOnOverlap simulates the misuse the guard exists
+// for — a second goroutine entering a snapshot while a method is already
+// executing — deterministically, by holding the in-use flag and calling a
+// guarded method.
+func TestSnapshotGuardPanicsOnOverlap(t *testing.T) {
+	if !snapshotGuarded {
+		t.Fatal("race build must compile the snapshot guard in")
+	}
+	c := NewStringColumn("t.guard", dict.Array)
+	for _, v := range []string{"aa", "bb", "cc"} {
+		c.Append(v)
+	}
+	c.Merge(dict.Array)
+	s := c.Snapshot()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("guarded method did not panic while snapshot was in use")
+		}
+		if !strings.Contains(r.(string), "single-goroutine") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+		s.exit()
+		if _, ok := s.Locate("aa"); !ok { // usable again after exit
+			t.Fatal("Locate after exit failed")
+		}
+		s.Release()
+	}()
+	s.enter() // the overlapping goroutine's entry, without the goroutine
+	s.Locate("aa")
+}
+
+// TestSnapshotGuardCleanHandoff checks the guard stays silent on the legal
+// pattern: strictly sequential use, including Release.
+func TestSnapshotGuardCleanHandoff(t *testing.T) {
+	c := NewStringColumn("t.guard2", dict.Array)
+	for _, v := range []string{"x", "y", "z"} {
+		c.Append(v)
+	}
+	c.Merge(dict.Array)
+	s := c.Snapshot()
+	if got := s.Get(1); got != "y" {
+		t.Fatalf("Get(1) = %q", got)
+	}
+	if n := s.CountEq("z"); n != 1 {
+		t.Fatalf("CountEq(z) = %d", n)
+	}
+	s.Release()
+	s.Release() // idempotent under the guard too
+}

@@ -1,0 +1,302 @@
+package service
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"strdict/internal/colstore"
+	"strdict/internal/dict"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *Client) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, &Client{Base: ts.URL, HTTP: ts.Client()}
+}
+
+func oneItem(tenant, table string, names []string) AppendItem {
+	return AppendItem{
+		Tenant: tenant,
+		Table:  table,
+		Strs:   map[string][]string{"name": names},
+		Ints:   map[string][]int64{"n": seqInts(len(names))},
+	}
+}
+
+func seqInts(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// TestServiceSmoke is the tier-1 end-to-end check: batched append across
+// shards, the three query endpoints, stats/health, and the no-leak pin
+// invariant.
+func TestServiceSmoke(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Shards: 2, GossipInterval: -1})
+
+	res, err := cl.Append([]AppendItem{
+		oneItem("acme", "orders", []string{"alpha", "beta", "alpha", "gamma"}),
+		oneItem("globex", "orders", []string{"delta", "delta"}),
+	})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	for i, r := range res {
+		if !r.OK {
+			t.Fatalf("append item %d failed: %s", i, r.Error)
+		}
+	}
+
+	sc, err := cl.ScanEq("acme", "orders", "name", "alpha")
+	if err != nil || sc.Count != 2 {
+		t.Fatalf("scan eq alpha: count=%d err=%v", sc.Count, err)
+	}
+	if len(sc.Rows) != 2 || sc.Rows[0] != 0 || sc.Rows[1] != 2 {
+		t.Fatalf("scan rows = %v", sc.Rows)
+	}
+	rc, err := cl.ScanRange("acme", "orders", "name", "b", "e")
+	if err != nil || rc.Count != 1 { // only "beta" in [b, e)
+		t.Fatalf("scan range: count=%d err=%v", rc.Count, err)
+	}
+	n, err := cl.CountEq("globex", "orders", "name", "delta")
+	if err != nil || n != 2 {
+		t.Fatalf("count: %d err=%v", n, err)
+	}
+	// Locate resolves against the pinned main dictionary: values still in
+	// the delta have no stable code yet.
+	if _, found, err := cl.Locate("acme", "orders", "name", "gamma"); err != nil || found {
+		t.Fatalf("locate of delta-resident value: found=%v err=%v", found, err)
+	}
+	if _, found, _ := cl.Locate("acme", "orders", "name", "nope"); found {
+		t.Fatal("locate found a value never appended")
+	}
+
+	// Unknown column is a 404, not a panic, and leaks no snapshot.
+	if _, err := cl.CountEq("acme", "orders", "nope", "x"); err == nil {
+		t.Fatal("count on unknown column should fail")
+	}
+	if st, err := cl.Stats(); err != nil || st["shards"] == nil {
+		t.Fatalf("stats: %v %v", st, err)
+	}
+	if state, ok, err := cl.Health(); err != nil || !ok || state != "healthy" {
+		t.Fatalf("health: %s ok=%v err=%v", state, ok, err)
+	}
+	if live := srv.PinnedSnapshots(); live != 0 {
+		t.Fatalf("pinned snapshots leaked: %d", live)
+	}
+	if srv.TotalPins() == 0 {
+		t.Fatal("queries took no pins")
+	}
+}
+
+// TestRoutingStableAcrossRestart checks the shard-routing invariant: the
+// same (tenant, table) routes to the same shard across a full server
+// restart, and the rows land back in the recovered shard.
+func TestRoutingStableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	pairs := [][2]string{
+		{"t0", "a"}, {"t0", "b"}, {"t1", "a"}, {"t2", "x"}, {"t3", "y"}, {"", "bare"},
+	}
+	opts := Options{Shards: 4, Dir: dir, GossipInterval: -1, NoDaemons: true}
+
+	srv, cl := func() (*Server, *Client) {
+		srv, err := New(opts)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return srv, &Client{Base: ts.URL, HTTP: ts.Client()}
+	}()
+
+	route := map[[2]string]int{}
+	for _, p := range pairs {
+		route[p] = srv.ShardFor(p[0], p[1])
+		if _, err := cl.Append([]AppendItem{oneItem(p[0], p[1], []string{"v-" + p[0], "v-" + p[0]})}); err != nil {
+			t.Fatalf("append %v: %v", p, err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	srv2, cl2 := newTestServer(t, opts)
+	for _, p := range pairs {
+		if got := srv2.ShardFor(p[0], p[1]); got != route[p] {
+			t.Fatalf("pair %v routed to shard %d before restart, %d after", p, route[p], got)
+		}
+		n, err := cl2.CountEq(p[0], p[1], "name", "v-"+p[0])
+		if err != nil || n != 2 {
+			t.Fatalf("pair %v lost rows after restart: n=%d err=%v", p, n, err)
+		}
+	}
+}
+
+// TestConcurrentDistinctShardAppends hammers distinct (tenant, table)
+// pairs from many goroutines; with per-shard locking this must be
+// race-clean (the race detector enforces it in check builds) and lose no
+// rows.
+func TestConcurrentDistinctShardAppends(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Shards: 4, GossipInterval: -1})
+	const writers, batches, rowsPer = 8, 10, 32
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", w)
+			vals := make([]string, rowsPer)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("v-%d-%d", w, i%7)
+			}
+			for b := 0; b < batches; b++ {
+				if _, err := cl.Append([]AppendItem{oneItem(tenant, "events", vals)}); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := uint64(0)
+	for i := 0; i < srv.NumShards(); i++ {
+		total += srv.ShardRows(i)
+	}
+	if want := uint64(writers * batches * rowsPer); total != want {
+		t.Fatalf("ingested %d rows across shards, want %d", total, want)
+	}
+	for w := 0; w < writers; w++ {
+		tenant := fmt.Sprintf("tenant-%d", w)
+		n, err := cl.CountEq(tenant, "events", "name", fmt.Sprintf("v-%d-0", w))
+		if err != nil {
+			t.Fatalf("count %s: %v", tenant, err)
+		}
+		if want := batches * (rowsPer/7 + 1); n != want { // i%7==0 hits ceil(32/7)=5 per batch
+			t.Fatalf("tenant %s: count=%d want %d", tenant, n, want)
+		}
+	}
+}
+
+// TestReadOnlyShard503 forces one shard read-only and checks the contract:
+// appends owned by it fail with 503, appends owned by other shards keep
+// ingesting, and queries against the read-only shard still serve.
+func TestReadOnlyShard503(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Shards: 4, GossipInterval: -1})
+
+	// Find two tenants on different shards.
+	roTenant, okTenant := "", ""
+	for i := 0; i < 64 && (roTenant == "" || okTenant == ""); i++ {
+		tn := fmt.Sprintf("tenant-%d", i)
+		switch srv.ShardFor(tn, "logs") {
+		case 0:
+			if roTenant == "" {
+				roTenant = tn
+			}
+		default:
+			if okTenant == "" {
+				okTenant = tn
+			}
+		}
+	}
+	if roTenant == "" || okTenant == "" {
+		t.Fatal("could not find tenants on distinct shards")
+	}
+	if _, err := cl.Append([]AppendItem{oneItem(roTenant, "logs", []string{"pre"})}); err != nil {
+		t.Fatalf("pre-RO append: %v", err)
+	}
+
+	srv.SetShardReadOnly(0, true)
+	_, err := cl.Append([]AppendItem{oneItem(roTenant, "logs", []string{"x"})})
+	if !IsUnavailable(err) {
+		t.Fatalf("append to read-only shard: want 503, got %v", err)
+	}
+	if _, err := cl.Append([]AppendItem{oneItem(okTenant, "logs", []string{"y", "y"})}); err != nil {
+		t.Fatalf("append to healthy shard during RO: %v", err)
+	}
+	// Queries on the read-only shard still work, from a pinned snapshot.
+	if n, err := cl.CountEq(roTenant, "logs", "name", "pre"); err != nil || n != 1 {
+		t.Fatalf("query on read-only shard: n=%d err=%v", n, err)
+	}
+	if state, ok, err := cl.Health(); err != nil || !ok || state != "readonly" {
+		t.Fatalf("health during partial RO: %s ok=%v err=%v", state, ok, err)
+	}
+
+	srv.SetShardReadOnly(0, false)
+	if _, err := cl.Append([]AppendItem{oneItem(roTenant, "logs", []string{"back"})}); err != nil {
+		t.Fatalf("append after clearing RO: %v", err)
+	}
+	if live := srv.PinnedSnapshots(); live != 0 {
+		t.Fatalf("pinned snapshots leaked: %d", live)
+	}
+}
+
+// TestSnapshotReleasedOnErrorPaths drives requests that fail after the
+// snapshot pin (bad scan predicate) and checks no pin leaks.
+func TestSnapshotReleasedOnErrorPaths(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Shards: 2, GossipInterval: -1})
+	if _, err := cl.Append([]AppendItem{oneItem("a", "t", []string{"x"})}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// A scan with neither eq nor lo/hi 400s after the pin was taken.
+	var out map[string]any
+	err := cl.get("/v1/scan", queryArgs("a", "t", "name"), &out)
+	if err == nil {
+		t.Fatal("scan without predicate should 400")
+	}
+	if live := srv.PinnedSnapshots(); live != 0 {
+		t.Fatalf("pin leaked on error path: %d", live)
+	}
+	if srv.TotalPins() == 0 {
+		t.Fatal("error-path scan never pinned")
+	}
+}
+
+// TestWrappedStores covers NewWithStores: the torture harness's embedding
+// mode, where the server fronts pre-existing stores with the empty tenant.
+func TestWrappedStores(t *testing.T) {
+	st := colstore.NewStore()
+	tb := st.AddTable("t")
+	c := tb.AddString("c", dict.Array)
+	for _, v := range []string{"a", "b", "a"} {
+		c.Append(v)
+	}
+	c.Merge(dict.Array)
+	srv := NewWithStores([]*colstore.Store{st}, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{Base: ts.URL, HTTP: ts.Client()}
+
+	if n, err := cl.CountEq("", "t", "c", "a"); err != nil || n != 2 {
+		t.Fatalf("wrapped count: n=%d err=%v", n, err)
+	}
+	sc, err := cl.ScanEq("", "t", "c", "b")
+	if err != nil || sc.Count != 1 || sc.Rows[0] != 1 {
+		t.Fatalf("wrapped scan: %+v err=%v", sc, err)
+	}
+	if _, found, err := cl.Locate("", "t", "c", "b"); err != nil || !found {
+		t.Fatalf("locate merged value: found=%v err=%v", found, err)
+	}
+	if live := srv.PinnedSnapshots(); live != 0 {
+		t.Fatalf("pin leak: %d", live)
+	}
+}

@@ -5,7 +5,7 @@
 // Checkpoint / crash / recover against a persistent store with a
 // fault-injecting filesystem underneath — including incremental checkpoints
 // (dirty one column, assert only its part is rewritten) and checkpoints
-// killed mid-flight by a fault — and checks four oracles after every step:
+// killed mid-flight by a fault — and checks five oracles after every step:
 //
 //  1. engine vs a naive in-memory model store (per-column value slices),
 //  2. kernel ScanEq/ScanRange/CountEq vs their scalar oracles with zone
@@ -13,7 +13,10 @@
 //  3. every registered dictionary format vs every other over the same
 //     column,
 //  4. a recovered store vs the pre-crash store (durable floor ≤ recovered
-//     rows ≤ appended rows, recovered prefix bit-identical).
+//     rows ≤ appended rows, recovered prefix bit-identical),
+//  5. the HTTP service layer (internal/service fronting the same store) vs
+//     the model and a pinned engine snapshot, including the
+//     zero-leaked-snapshots invariant after quiescence.
 //
 // Every run is reproducible from its seed alone: the same seed replays the
 // same schema, corpora, operations and fault plans. On failure the seed is
@@ -173,8 +176,10 @@ func Run(cfg Config) error {
 			err = h.opTransientFault()
 		case pick < 94:
 			err = h.opPermanentFault()
-		default:
+		case pick < 97:
 			err = h.opCrossFormat()
+		default:
+			err = h.opServiceQuery()
 		}
 		if err != nil {
 			return err

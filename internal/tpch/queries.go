@@ -60,6 +60,49 @@ func eqCode(c *colstore.StringColumn, v string) (uint32, bool) {
 	return c.Locate(v)
 }
 
+// codeStreamChunk is the AppendCodeRange window width: one kernel call
+// decodes this many main-part codes at once.
+const codeStreamChunk = 256
+
+// codeStream batch-decodes a string column's main-part value IDs for the
+// row loops of the query plans: one pinned snapshot for the whole scan and
+// one AppendCodeRange kernel call per 256 rows, instead of one
+// Vector.Get interface call per row. code is a drop-in for
+// StringColumn.Code — delta rows (at or past MainRows) report ok=false with
+// the same semantics. The window refills from whatever row misses, so
+// filtered and restarted loops work too; ascending scans hit the window
+// ~256 times per refill. Call release when the plan is done with the
+// stream.
+type codeStream struct {
+	snap   *colstore.Snapshot
+	nMain  int
+	window []uint64
+	start  int // window covers rows [start, start+len(window))
+}
+
+func newCodeStream(c *colstore.StringColumn) *codeStream {
+	snap := c.Snapshot()
+	return &codeStream{snap: snap, nMain: snap.MainRows()}
+}
+
+func (cs *codeStream) release() { cs.snap.Release() }
+
+func (cs *codeStream) code(row int) (uint32, bool) {
+	if row >= cs.nMain {
+		return 0, false
+	}
+	if off := row - cs.start; off >= 0 && off < len(cs.window) {
+		return uint32(cs.window[off]), true
+	}
+	n := cs.nMain - row
+	if n > codeStreamChunk {
+		n = codeStreamChunk
+	}
+	cs.window = cs.snap.AppendCodeRange(cs.window[:0], row, n)
+	cs.start = row
+	return uint32(cs.window[0]), true
+}
+
 // keysOfNationsInRegion returns the n_nationkey codes (in the nation table's
 // n_nationkey dictionary) of all nations in the named region, along with a
 // map from that code to the nation's name.
@@ -70,11 +113,13 @@ func keysOfNationsInRegion(s *colstore.Store, region string) (map[uint32]bool, m
 	var regionKey string
 	rcode, found := eqCode(rname, region)
 	if found {
+		csRName := newCodeStream(rname)
 		for row := 0; row < rt.Rows(); row++ {
-			if code, ok := rname.Code(row); ok && code == rcode {
+			if code, ok := csRName.code(row); ok && code == rcode {
 				regionKey = regionKeyByRow.Get(row)
 			}
 		}
+		csRName.release()
 	}
 	keys := make(map[uint32]bool)
 	names := make(map[uint32]string)
@@ -82,9 +127,12 @@ func keysOfNationsInRegion(s *colstore.Store, region string) (map[uint32]bool, m
 	nk := nt.Str("n_nationkey")
 	nn := nt.Str("n_name")
 	want, haveRegion := eqCode(nrk, regionKey)
+	csNRK, csNK := newCodeStream(nrk), newCodeStream(nk)
+	defer csNRK.release()
+	defer csNK.release()
 	for row := 0; row < nt.Rows(); row++ {
-		if code, ok := nrk.Code(row); ok && haveRegion && code == want {
-			kc, _ := nk.Code(row)
+		if code, ok := csNRK.code(row); ok && haveRegion && code == want {
+			kc, _ := csNK.code(row)
 			keys[kc] = true
 			names[kc] = nn.Get(row)
 		}
@@ -102,9 +150,12 @@ func nationKeyCode(s *colstore.Store, name string) (uint32, string, bool) {
 	if !found {
 		return 0, "", false
 	}
+	csNN, csNK := newCodeStream(nn), newCodeStream(nk)
+	defer csNN.release()
+	defer csNK.release()
 	for row := 0; row < nt.Rows(); row++ {
-		if code, ok := nn.Code(row); ok && code == ncode {
-			kc, _ := nk.Code(row)
+		if code, ok := csNN.code(row); ok && code == ncode {
+			kc, _ := csNK.code(row)
 			return kc, name, true
 		}
 	}
@@ -135,8 +186,10 @@ func parseF(s string) float64 {
 func rowToNationCode(s *colstore.Store, col *colstore.StringColumn) []int64 {
 	toNation := colstore.TranslateCodes(col, s.Table("nation").Str("n_nationkey"))
 	out := make([]int64, col.Len())
+	cs := newCodeStream(col)
+	defer cs.release()
 	for row := range out {
-		code, _ := col.Code(row)
+		code, _ := cs.code(row)
 		out[row] = toNation[code]
 	}
 	return out

@@ -145,8 +145,10 @@ func q2(s *colstore.Store) *Result {
 	snk := st.Str("s_nationkey")
 	toNation := colstore.TranslateCodes(snk, s.Table("nation").Str("n_nationkey"))
 	suppNation := make([]int64, st.Rows()) // row -> n_nationkey code or -1
+	csSnk := newCodeStream(snk)
+	defer csSnk.release()
 	for row := 0; row < st.Rows(); row++ {
-		code, _ := snk.Code(row)
+		code, _ := csSnk.code(row)
 		nc := toNation[code]
 		if nc >= 0 && nationKeys[uint32(nc)] {
 			suppNation[row] = nc
@@ -162,8 +164,10 @@ func q2(s *colstore.Store) *Result {
 	psize := pt.Int("p_size")
 	typeOK := ptype.CodeSet(func(v string) bool { return strings.HasSuffix(v, suffix) })
 	partOK := make([]bool, pt.Rows())
+	csPType := newCodeStream(ptype)
+	defer csPType.release()
 	for row := 0; row < pt.Rows(); row++ {
-		code, _ := ptype.Code(row)
+		code, _ := csPType.code(row)
 		partOK[row] = typeOK[code] && psize.Get(row) == size
 	}
 	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
@@ -182,8 +186,11 @@ func q2(s *colstore.Store) *Result {
 		partRow int32
 	}
 	minCost := make(map[uint32]*best) // by ps_partkey code
+	csPsPart, csPsSupp := newCodeStream(psPart), newCodeStream(psSupp)
+	defer csPsPart.release()
+	defer csPsSupp.release()
 	for row := 0; row < pst.Rows(); row++ {
-		pc, _ := psPart.Code(row)
+		pc, _ := csPsPart.code(row)
 		partCode := psPartToPart[pc]
 		if partCode < 0 {
 			continue
@@ -192,7 +199,7 @@ func q2(s *colstore.Store) *Result {
 		if partRow < 0 || !partOK[partRow] {
 			continue
 		}
-		sc, _ := psSupp.Code(row)
+		sc, _ := csPsSupp.code(row)
 		suppCode := psSuppToSupp[sc]
 		if suppCode < 0 {
 			continue
@@ -257,8 +264,10 @@ func q3(s *colstore.Store) *Result {
 	seg := ct.Str("c_mktsegment")
 	segCode, segFound := eqCode(seg, "BUILDING")
 	custOK := make([]bool, ct.Rows())
+	csSeg := newCodeStream(seg)
+	defer csSeg.release()
 	for row := 0; row < ct.Rows(); row++ {
-		code, _ := seg.Code(row)
+		code, _ := csSeg.code(row)
 		custOK[row] = segFound && code == segCode
 	}
 	custRowByCode := ct.Str("c_custkey").RowIndexByCode()
@@ -266,13 +275,16 @@ func q3(s *colstore.Store) *Result {
 	ot := s.Table("orders")
 	odate := ot.Int("o_orderdate")
 	shipPrio := ot.Int("o_shippriority")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 	orderPass := make([]bool, ot.Rows())
+	csOCust := newCodeStream(ocust)
+	defer csOCust.release()
 	for row := 0; row < ot.Rows(); row++ {
 		if odate.Get(row) >= cutoff {
 			continue
 		}
-		cc, _ := ot.Str("o_custkey").Code(row)
+		cc, _ := csOCust.code(row)
 		custCode := oCustToCust[cc]
 		if custCode < 0 {
 			continue
@@ -289,11 +301,13 @@ func q3(s *colstore.Store) *Result {
 	disc := lt.Float("l_discount")
 	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
 	revenue := make(map[int64]float64) // by o_orderkey code
+	csLok := newCodeStream(lok)
+	defer csLok.release()
 	for row := 0; row < lt.Rows(); row++ {
 		if ship.Get(row) <= cutoff {
 			continue
 		}
-		lc, _ := lok.Code(row)
+		lc, _ := csLok.code(row)
 		oc := liOrderToOrder[lc]
 		if oc < 0 {
 			continue
@@ -346,9 +360,11 @@ func q4(s *colstore.Store) *Result {
 	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
 
 	lateOrder := make(map[int64]bool) // o_orderkey codes with commit < receipt
+	csLok := newCodeStream(lok)
+	defer csLok.release()
 	for row := 0; row < lt.Rows(); row++ {
 		if commit.Get(row) < recv.Get(row) {
-			lc, _ := lok.Code(row)
+			lc, _ := csLok.code(row)
 			if oc := liOrderToOrder[lc]; oc >= 0 {
 				lateOrder[oc] = true
 			}
@@ -359,16 +375,19 @@ func q4(s *colstore.Store) *Result {
 	prio := ot.Str("o_orderpriority")
 	okey := ot.Str("o_orderkey")
 	counts := make(map[uint32]int)
+	csOkey, csPrio := newCodeStream(okey), newCodeStream(prio)
+	defer csOkey.release()
+	defer csPrio.release()
 	for row := 0; row < ot.Rows(); row++ {
 		d := odate.Get(row)
 		if d < lo || d >= hi {
 			continue
 		}
-		kc, _ := okey.Code(row)
+		kc, _ := csOkey.code(row)
 		if !lateOrder[int64(kc)] {
 			continue
 		}
-		pc, _ := prio.Code(row)
+		pc, _ := csPrio.code(row)
 		counts[pc]++
 	}
 
@@ -407,7 +426,8 @@ func q5(s *colstore.Store) *Result {
 
 	ot := s.Table("orders")
 	odate := ot.Int("o_orderdate")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
 
 	lt := s.Table("lineitem")
@@ -419,8 +439,12 @@ func q5(s *colstore.Store) *Result {
 	liSuppToSupp := colstore.TranslateCodes(lsk, st.Str("s_suppkey"))
 
 	revenue := make(map[int64]float64) // by nation code
+	csLok, csLsk, csOCust := newCodeStream(lok), newCodeStream(lsk), newCodeStream(ocust)
+	defer csLok.release()
+	defer csLsk.release()
+	defer csOCust.release()
 	for row := 0; row < lt.Rows(); row++ {
-		lc, _ := lok.Code(row)
+		lc, _ := csLok.code(row)
 		oc := liOrderToOrder[lc]
 		if oc < 0 {
 			continue
@@ -432,7 +456,7 @@ func q5(s *colstore.Store) *Result {
 		if d := odate.Get(int(orow)); d < lo || d >= hi {
 			continue
 		}
-		scRaw, _ := lsk.Code(row)
+		scRaw, _ := csLsk.code(row)
 		sc := liSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -445,7 +469,7 @@ func q5(s *colstore.Store) *Result {
 		if sn < 0 || !nationKeys[uint32(sn)] {
 			continue
 		}
-		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		ccRaw, _ := csOCust.code(int(orow))
 		cc := oCustToCust[ccRaw]
 		if cc < 0 {
 			continue
@@ -524,7 +548,8 @@ func q7(s *colstore.Store) *Result {
 	suppNation := rowToNationCode(s, st.Str("s_nationkey"))
 	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
 	ot := s.Table("orders")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
 
 	lt := s.Table("lineitem")
@@ -541,12 +566,16 @@ func q7(s *colstore.Store) *Result {
 		year         int
 	}
 	volume := make(map[gk]float64)
+	csLok, csLsk, csOCust := newCodeStream(lok), newCodeStream(lsk), newCodeStream(ocust)
+	defer csLok.release()
+	defer csLsk.release()
+	defer csOCust.release()
 	for row := 0; row < lt.Rows(); row++ {
 		d := ship.Get(row)
 		if d < lo || d > hi {
 			continue
 		}
-		scRaw, _ := lsk.Code(row)
+		scRaw, _ := csLsk.code(row)
 		sc := liSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -556,7 +585,7 @@ func q7(s *colstore.Store) *Result {
 			continue
 		}
 		sn := suppNation[srow]
-		lcRaw, _ := lok.Code(row)
+		lcRaw, _ := csLok.code(row)
 		oc := liOrderToOrder[lcRaw]
 		if oc < 0 {
 			continue
@@ -565,7 +594,7 @@ func q7(s *colstore.Store) *Result {
 		if orow < 0 {
 			continue
 		}
-		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		ccRaw, _ := csOCust.code(int(orow))
 		cc := oCustToCust[ccRaw]
 		if cc < 0 {
 			continue
@@ -626,8 +655,10 @@ func q8(s *colstore.Store) *Result {
 	ptype := pt.Str("p_type")
 	typeCode, typeFound := eqCode(ptype, "ECONOMY ANODIZED STEEL")
 	partOK := make([]bool, pt.Rows())
+	csPType := newCodeStream(ptype)
+	defer csPType.release()
 	for row := 0; row < pt.Rows(); row++ {
-		code, _ := ptype.Code(row)
+		code, _ := csPType.code(row)
 		partOK[row] = typeFound && code == typeCode
 	}
 	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
@@ -640,7 +671,8 @@ func q8(s *colstore.Store) *Result {
 	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
 	ot := s.Table("orders")
 	odate := ot.Int("o_orderdate")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
 
 	lt := s.Table("lineitem")
@@ -655,8 +687,14 @@ func q8(s *colstore.Store) *Result {
 
 	total := make(map[int]float64)
 	brazil := make(map[int]float64)
+	csLok, csLpk, csLsk := newCodeStream(lok), newCodeStream(lpk), newCodeStream(lsk)
+	csOCust := newCodeStream(ocust)
+	defer csLok.release()
+	defer csLpk.release()
+	defer csLsk.release()
+	defer csOCust.release()
 	for row := 0; row < lt.Rows(); row++ {
-		pcRaw, _ := lpk.Code(row)
+		pcRaw, _ := csLpk.code(row)
 		pc := liPartToPart[pcRaw]
 		if pc < 0 {
 			continue
@@ -665,7 +703,7 @@ func q8(s *colstore.Store) *Result {
 		if prow < 0 || !partOK[prow] {
 			continue
 		}
-		lcRaw, _ := lok.Code(row)
+		lcRaw, _ := csLok.code(row)
 		oc := liOrderToOrder[lcRaw]
 		if oc < 0 {
 			continue
@@ -678,7 +716,7 @@ func q8(s *colstore.Store) *Result {
 		if d < lo || d > hi {
 			continue
 		}
-		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		ccRaw, _ := csOCust.code(int(orow))
 		cc := oCustToCust[ccRaw]
 		if cc < 0 {
 			continue
@@ -691,7 +729,7 @@ func q8(s *colstore.Store) *Result {
 		if cn < 0 || !amKeys[uint32(cn)] {
 			continue
 		}
-		scRaw, _ := lsk.Code(row)
+		scRaw, _ := csLsk.code(row)
 		sc := liSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -739,8 +777,10 @@ func q9(s *colstore.Store) *Result {
 	pname := pt.Str("p_name")
 	greenParts := pname.CodeSet(func(v string) bool { return strings.Contains(v, "green") })
 	partOK := make([]bool, pt.Rows())
+	csPName := newCodeStream(pname)
+	defer csPName.release()
 	for row := 0; row < pt.Rows(); row++ {
-		code, _ := pname.Code(row)
+		code, _ := csPName.code(row)
 		partOK[row] = greenParts[code]
 	}
 	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
@@ -750,10 +790,12 @@ func q9(s *colstore.Store) *Result {
 	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
 	nt := s.Table("nation")
 	nationName := make(map[int64]string)
+	csNK := newCodeStream(nt.Str("n_nationkey"))
 	for row := 0; row < nt.Rows(); row++ {
-		kc, _ := nt.Str("n_nationkey").Code(row)
+		kc, _ := csNK.code(row)
 		nationName[int64(kc)] = nt.Str("n_name").Get(row)
 	}
+	csNK.release()
 
 	// ps_supplycost lookup per (part, supp) pair.
 	pst := s.Table("partsupp")
@@ -764,11 +806,14 @@ func q9(s *colstore.Store) *Result {
 	costOf := make(map[pair]float64, pst.Rows())
 	psPartToPart := colstore.TranslateCodes(psPart, pt.Str("p_partkey"))
 	psSuppToSupp := colstore.TranslateCodes(psSupp, st.Str("s_suppkey"))
+	csPsPart, csPsSupp := newCodeStream(psPart), newCodeStream(psSupp)
 	for row := 0; row < pst.Rows(); row++ {
-		pcRaw, _ := psPart.Code(row)
-		scRaw, _ := psSupp.Code(row)
+		pcRaw, _ := csPsPart.code(row)
+		scRaw, _ := csPsSupp.code(row)
 		costOf[pair{psPartToPart[pcRaw], psSuppToSupp[scRaw]}] = psCost.Get(row)
 	}
+	csPsPart.release()
+	csPsSupp.release()
 
 	ot := s.Table("orders")
 	odate := ot.Int("o_orderdate")
@@ -790,8 +835,12 @@ func q9(s *colstore.Store) *Result {
 		year   int
 	}
 	profit := make(map[gk]float64)
+	csLok, csLpk, csLsk := newCodeStream(lok), newCodeStream(lpk), newCodeStream(lsk)
+	defer csLok.release()
+	defer csLpk.release()
+	defer csLsk.release()
 	for row := 0; row < lt.Rows(); row++ {
-		pcRaw, _ := lpk.Code(row)
+		pcRaw, _ := csLpk.code(row)
 		pc := liPartToPart[pcRaw]
 		if pc < 0 {
 			continue
@@ -800,7 +849,7 @@ func q9(s *colstore.Store) *Result {
 		if prow < 0 || !partOK[prow] {
 			continue
 		}
-		scRaw, _ := lsk.Code(row)
+		scRaw, _ := csLsk.code(row)
 		sc := liSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -809,7 +858,7 @@ func q9(s *colstore.Store) *Result {
 		if srow < 0 {
 			continue
 		}
-		lcRaw, _ := lok.Code(row)
+		lcRaw, _ := csLok.code(row)
 		oc := liOrderToOrder[lcRaw]
 		if oc < 0 {
 			continue
@@ -853,14 +902,17 @@ func q10(s *colstore.Store) *Result {
 	custNation := rowToNationCode(s, ct.Str("c_nationkey"))
 	nt := s.Table("nation")
 	nationName := make(map[int64]string)
+	csNK := newCodeStream(nt.Str("n_nationkey"))
 	for row := 0; row < nt.Rows(); row++ {
-		kc, _ := nt.Str("n_nationkey").Code(row)
+		kc, _ := csNK.code(row)
 		nationName[int64(kc)] = nt.Str("n_name").Get(row)
 	}
+	csNK.release()
 
 	ot := s.Table("orders")
 	odate := ot.Int("o_orderdate")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
 
 	lt := s.Table("lineitem")
@@ -872,12 +924,16 @@ func q10(s *colstore.Store) *Result {
 	liOrderToOrder := colstore.TranslateCodes(lok, ot.Str("o_orderkey"))
 
 	revenue := make(map[int64]float64) // by c_custkey code
+	csLok, csLret, csOCust := newCodeStream(lok), newCodeStream(lret), newCodeStream(ocust)
+	defer csLok.release()
+	defer csLret.release()
+	defer csOCust.release()
 	for row := 0; row < lt.Rows(); row++ {
-		rc, _ := lret.Code(row)
+		rc, _ := csLret.code(row)
 		if !retFound || rc != retCode {
 			continue
 		}
-		lcRaw, _ := lok.Code(row)
+		lcRaw, _ := csLok.code(row)
 		oc := liOrderToOrder[lcRaw]
 		if oc < 0 {
 			continue
@@ -889,7 +945,7 @@ func q10(s *colstore.Store) *Result {
 		if d := odate.Get(int(orow)); d < lo || d >= hi {
 			continue
 		}
-		ccRaw, _ := ot.Str("o_custkey").Code(int(orow))
+		ccRaw, _ := csOCust.code(int(orow))
 		cc := oCustToCust[ccRaw]
 		if cc < 0 {
 			continue
@@ -948,8 +1004,11 @@ func q11(s *colstore.Store) *Result {
 
 	value := make(map[uint32]float64) // by ps_partkey code
 	var total float64
+	csPsPart, csPsSupp := newCodeStream(psPart), newCodeStream(psSupp)
+	defer csPsPart.release()
+	defer csPsSupp.release()
 	for row := 0; row < pst.Rows(); row++ {
-		scRaw, _ := psSupp.Code(row)
+		scRaw, _ := csPsSupp.code(row)
 		sc := psSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -958,7 +1017,7 @@ func q11(s *colstore.Store) *Result {
 		if srow < 0 || suppNation[srow] != int64(de) {
 			continue
 		}
-		pc, _ := psPart.Code(row)
+		pc, _ := csPsPart.code(row)
 		v := cost.Get(row) * float64(qty.Get(row))
 		value[pc] += v
 		total += v

@@ -42,8 +42,12 @@ func q12(s *colstore.Store) *Result {
 
 	type counts struct{ hi, lo int }
 	byMode := make(map[uint32]*counts)
+	csMode, csLok, csPrio := newCodeStream(mode), newCodeStream(lok), newCodeStream(prio)
+	defer csMode.release()
+	defer csLok.release()
+	defer csPrio.release()
 	for row := 0; row < lt.Rows(); row++ {
-		mc, _ := mode.Code(row)
+		mc, _ := csMode.code(row)
 		if !(mailOK && mc == mailCode) && !(shipOK && mc == shipCode) {
 			continue
 		}
@@ -54,7 +58,7 @@ func q12(s *colstore.Store) *Result {
 		if !(commit.Get(row) < r && ship.Get(row) < commit.Get(row)) {
 			continue
 		}
-		lcRaw, _ := lok.Code(row)
+		lcRaw, _ := csLok.code(row)
 		oc := liOrderToOrder[lcRaw]
 		if oc < 0 {
 			continue
@@ -63,7 +67,7 @@ func q12(s *colstore.Store) *Result {
 		if orow < 0 {
 			continue
 		}
-		pc, _ := prio.Code(int(orow))
+		pc, _ := csPrio.code(int(orow))
 		c := byMode[mc]
 		if c == nil {
 			c = &counts{}
@@ -103,15 +107,19 @@ func q13(s *colstore.Store) *Result {
 		return i >= 0 && strings.Contains(v[i:], "requests")
 	})
 	ct := s.Table("customer")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 
 	perCust := make(map[int64]int)
+	csOCom, csOCust := newCodeStream(ocom), newCodeStream(ocust)
+	defer csOCom.release()
+	defer csOCust.release()
 	for row := 0; row < ot.Rows(); row++ {
-		cc, _ := ocom.Code(row)
+		cc, _ := csOCom.code(row)
 		if excluded[cc] {
 			continue
 		}
-		ccRaw, _ := ot.Str("o_custkey").Code(row)
+		ccRaw, _ := csOCust.code(row)
 		if c := oCustToCust[ccRaw]; c >= 0 {
 			perCust[c]++
 		}
@@ -151,10 +159,12 @@ func q14(s *colstore.Store) *Result {
 	ptype := pt.Str("p_type")
 	promo := ptype.CodeSet(func(v string) bool { return strings.HasPrefix(v, "PROMO") })
 	partPromo := make([]bool, pt.Rows())
+	csPType := newCodeStream(ptype)
 	for row := 0; row < pt.Rows(); row++ {
-		code, _ := ptype.Code(row)
+		code, _ := csPType.code(row)
 		partPromo[row] = promo[code]
 	}
+	csPType.release()
 	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
 
 	lt := s.Table("lineitem")
@@ -165,12 +175,14 @@ func q14(s *colstore.Store) *Result {
 	liPartToPart := colstore.TranslateCodes(lpk, pt.Str("p_partkey"))
 
 	var promoRev, totalRev float64
+	csLpk := newCodeStream(lpk)
+	defer csLpk.release()
 	for row := 0; row < lt.Rows(); row++ {
 		d := ship.Get(row)
 		if d < lo || d >= hi {
 			continue
 		}
-		pcRaw, _ := lpk.Code(row)
+		pcRaw, _ := csLpk.code(row)
 		pc := liPartToPart[pcRaw]
 		if pc < 0 {
 			continue
@@ -217,12 +229,14 @@ func q15(s *colstore.Store) *Result {
 	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
 
 	revenue := make(map[int64]float64) // by s_suppkey code
+	csLsk := newCodeStream(lsk)
+	defer csLsk.release()
 	for row := 0; row < lt.Rows(); row++ {
 		d := ship.Get(row)
 		if d < lo || d >= hi {
 			continue
 		}
-		scRaw, _ := lsk.Code(row)
+		scRaw, _ := csLsk.code(row)
 		if sc := liSuppToSupp[scRaw]; sc >= 0 {
 			revenue[sc] += ext.Get(row) * (1 - disc.Get(row))
 		}
@@ -277,15 +291,30 @@ func q16(s *colstore.Store) *Result {
 	badTypes := ptype.CodeSet(func(v string) bool { return strings.HasPrefix(v, "MEDIUM POLISHED") })
 	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
 
+	// The partsupp loop probes part rows in partkey order, not row order, so
+	// batch-decode the part-side codes once up front.
+	brandCodes := make([]uint32, pt.Rows())
+	ptypeCodes := make([]uint32, pt.Rows())
+	csBrand, csPType := newCodeStream(brand), newCodeStream(ptype)
+	for row := 0; row < pt.Rows(); row++ {
+		brandCodes[row], _ = csBrand.code(row)
+		ptypeCodes[row], _ = csPType.code(row)
+	}
+	csBrand.release()
+	csPType.release()
+
 	st := s.Table("supplier")
-	badSupp := st.Str("s_comment").CodeSet(func(v string) bool {
+	scom := st.Str("s_comment")
+	badSupp := scom.CodeSet(func(v string) bool {
 		return strings.Contains(v, "Customer Complaints")
 	})
 	suppBad := make([]bool, st.Rows())
+	csSCom := newCodeStream(scom)
 	for row := 0; row < st.Rows(); row++ {
-		code, _ := st.Str("s_comment").Code(row)
+		code, _ := csSCom.code(row)
 		suppBad[row] = badSupp[code]
 	}
+	csSCom.release()
 	suppRowByCode := st.Str("s_suppkey").RowIndexByCode()
 
 	pst := s.Table("partsupp")
@@ -299,8 +328,11 @@ func q16(s *colstore.Store) *Result {
 		size         int64
 	}
 	suppliers := make(map[gk]map[int64]bool)
+	csPsPart, csPsSupp := newCodeStream(psPart), newCodeStream(psSupp)
+	defer csPsPart.release()
+	defer csPsSupp.release()
 	for row := 0; row < pst.Rows(); row++ {
-		pcRaw, _ := psPart.Code(row)
+		pcRaw, _ := csPsPart.code(row)
 		pc := psPartToPart[pcRaw]
 		if pc < 0 {
 			continue
@@ -309,13 +341,12 @@ func q16(s *colstore.Store) *Result {
 		if prow < 0 {
 			continue
 		}
-		bc, _ := brand.Code(prow)
-		tc, _ := ptype.Code(prow)
+		bc, tc := brandCodes[prow], ptypeCodes[prow]
 		sz := psize.Get(prow)
 		if (brandOK && bc == excludedBrand) || badTypes[tc] || !sizes[sz] {
 			continue
 		}
-		scRaw, _ := psSupp.Code(row)
+		scRaw, _ := csPsSupp.code(row)
 		sc := psSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -376,6 +407,18 @@ func q17(s *colstore.Store) *Result {
 	ext := lt.Float("l_extendedprice")
 	liPartToPart := colstore.TranslateCodes(lpk, pt.Str("p_partkey"))
 
+	// Qualifying parts, batch-decoded once: the lineitem loops probe part
+	// rows in partkey order.
+	partPass := make([]bool, pt.Rows())
+	csBrand, csCont := newCodeStream(brand), newCodeStream(cont)
+	for row := 0; row < pt.Rows(); row++ {
+		bc, _ := csBrand.code(row)
+		cc, _ := csCont.code(row)
+		partPass[row] = brandOK && contOK && bc == brandCode && cc == contCode
+	}
+	csBrand.release()
+	csCont.release()
+
 	// avg quantity per qualifying part
 	sumQty := make(map[int64]float64)
 	cntQty := make(map[int64]int)
@@ -384,15 +427,12 @@ func q17(s *colstore.Store) *Result {
 			return false
 		}
 		prow := partRowByCode[pc]
-		if prow < 0 {
-			return false
-		}
-		bc, _ := brand.Code(int(prow))
-		cc, _ := cont.Code(int(prow))
-		return brandOK && contOK && bc == brandCode && cc == contCode
+		return prow >= 0 && partPass[prow]
 	}
+	csLpk := newCodeStream(lpk)
+	defer csLpk.release()
 	for row := 0; row < lt.Rows(); row++ {
-		pcRaw, _ := lpk.Code(row)
+		pcRaw, _ := csLpk.code(row)
 		pc := liPartToPart[pcRaw]
 		if passes(pc) {
 			sumQty[pc] += qty.Get(row)
@@ -401,7 +441,7 @@ func q17(s *colstore.Store) *Result {
 	}
 	var total float64
 	for row := 0; row < lt.Rows(); row++ {
-		pcRaw, _ := lpk.Code(row)
+		pcRaw, _ := csLpk.code(row)
 		pc := liPartToPart[pcRaw]
 		if !passes(pc) {
 			continue
@@ -433,24 +473,29 @@ func q18(s *colstore.Store) *Result {
 	orderRowByCode := ot.Str("o_orderkey").RowIndexByCode()
 
 	sumQty := make(map[int64]float64) // by o_orderkey code
+	csLok := newCodeStream(lok)
+	defer csLok.release()
 	for row := 0; row < lt.Rows(); row++ {
-		lcRaw, _ := lok.Code(row)
+		lcRaw, _ := csLok.code(row)
 		if oc := liOrderToOrder[lcRaw]; oc >= 0 {
 			sumQty[oc] += qty.Get(row)
 		}
 	}
 
 	ct := s.Table("customer")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 	custRowByCode := ct.Str("c_custkey").RowIndexByCode()
 
+	csOCust := newCodeStream(ocust)
+	defer csOCust.release()
 	var rows [][]string
 	for oc, q := range sumQty {
 		if q <= 300 {
 			continue
 		}
 		orow := int(orderRowByCode[oc])
-		ccRaw, _ := ot.Str("o_custkey").Code(orow)
+		ccRaw, _ := csOCust.code(orow)
 		cc := oCustToCust[ccRaw]
 		if cc < 0 {
 			continue
@@ -507,6 +552,17 @@ func q19(s *colstore.Store) *Result {
 	b23, _ := eqCode(brand, "Brand#23")
 	b34, _ := eqCode(brand, "Brand#34")
 
+	// Part-side codes, batch-decoded once for the partkey-ordered probes.
+	brandCodes := make([]uint32, pt.Rows())
+	contCodes := make([]uint32, pt.Rows())
+	csBrand, csCont := newCodeStream(brand), newCodeStream(cont)
+	for row := 0; row < pt.Rows(); row++ {
+		brandCodes[row], _ = csBrand.code(row)
+		contCodes[row], _ = csCont.code(row)
+	}
+	csBrand.release()
+	csCont.release()
+
 	lt := s.Table("lineitem")
 	lpk := lt.Str("l_partkey")
 	qty := lt.Float("l_quantity")
@@ -520,13 +576,17 @@ func q19(s *colstore.Store) *Result {
 	liPartToPart := colstore.TranslateCodes(lpk, pt.Str("p_partkey"))
 
 	var revenue float64
+	csMode, csInstr, csLpk := newCodeStream(mode), newCodeStream(instr), newCodeStream(lpk)
+	defer csMode.release()
+	defer csInstr.release()
+	defer csLpk.release()
 	for row := 0; row < lt.Rows(); row++ {
-		mc, _ := mode.Code(row)
-		ic, _ := instr.Code(row)
+		mc, _ := csMode.code(row)
+		ic, _ := csInstr.code(row)
 		if (mc != air && mc != regair) || ic != deliver {
 			continue
 		}
-		pcRaw, _ := lpk.Code(row)
+		pcRaw, _ := csLpk.code(row)
 		pc := liPartToPart[pcRaw]
 		if pc < 0 {
 			continue
@@ -535,8 +595,7 @@ func q19(s *colstore.Store) *Result {
 		if prow < 0 {
 			continue
 		}
-		bc, _ := brand.Code(prow)
-		cc, _ := cont.Code(prow)
+		bc, cc := brandCodes[prow], contCodes[prow]
 		sz := size.Get(prow)
 		q := qty.Get(row)
 		match := (bc == b12 && sm[cc] && q >= 1 && q <= 11 && sz >= 1 && sz <= 5) ||
@@ -569,12 +628,15 @@ func q20(s *colstore.Store) *Result {
 		return &Result{Query: 20}
 	}
 	pt := s.Table("part")
-	forest := pt.Str("p_name").CodeSet(func(v string) bool { return strings.HasPrefix(v, "forest") })
+	pname := pt.Str("p_name")
+	forest := pname.CodeSet(func(v string) bool { return strings.HasPrefix(v, "forest") })
 	partForest := make([]bool, pt.Rows())
+	csPName := newCodeStream(pname)
 	for row := 0; row < pt.Rows(); row++ {
-		code, _ := pt.Str("p_name").Code(row)
+		code, _ := csPName.code(row)
 		partForest[row] = forest[code]
 	}
+	csPName.release()
 	partRowByCode := pt.Str("p_partkey").RowIndexByCode()
 
 	// Shipped quantity in 1994 per (part, supp) in partsupp code spaces.
@@ -588,15 +650,18 @@ func q20(s *colstore.Store) *Result {
 	liSuppToSupp := colstore.TranslateCodes(lsk, st.Str("s_suppkey"))
 	type pair struct{ p, s int64 }
 	shipped := make(map[pair]float64)
+	csLpk, csLsk := newCodeStream(lpk), newCodeStream(lsk)
 	for row := 0; row < lt.Rows(); row++ {
 		d := ship.Get(row)
 		if d < lo || d >= hi {
 			continue
 		}
-		pcRaw, _ := lpk.Code(row)
-		scRaw, _ := lsk.Code(row)
+		pcRaw, _ := csLpk.code(row)
+		scRaw, _ := csLsk.code(row)
 		shipped[pair{liPartToPart[pcRaw], liSuppToSupp[scRaw]}] += qty.Get(row)
 	}
+	csLpk.release()
+	csLsk.release()
 
 	pst := s.Table("partsupp")
 	psPart := pst.Str("ps_partkey")
@@ -606,8 +671,11 @@ func q20(s *colstore.Store) *Result {
 	psSuppToSupp := colstore.TranslateCodes(psSupp, st.Str("s_suppkey"))
 
 	candidates := make(map[int64]bool) // s_suppkey codes
+	csPsPart, csPsSupp := newCodeStream(psPart), newCodeStream(psSupp)
+	defer csPsPart.release()
+	defer csPsSupp.release()
 	for row := 0; row < pst.Rows(); row++ {
-		pcRaw, _ := psPart.Code(row)
+		pcRaw, _ := csPsPart.code(row)
 		pc := psPartToPart[pcRaw]
 		if pc < 0 {
 			continue
@@ -616,7 +684,7 @@ func q20(s *colstore.Store) *Result {
 		if prow < 0 || !partForest[prow] {
 			continue
 		}
-		scRaw, _ := psSupp.Code(row)
+		scRaw, _ := csPsSupp.code(row)
 		sc := psSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -682,8 +750,12 @@ func q21(s *colstore.Store) *Result {
 	// Per order: set of suppliers, set of late suppliers.
 	suppsOf := make(map[int64]map[int64]bool)
 	lateOf := make(map[int64]map[int64]bool)
+	csLok, csLsk, csStatus := newCodeStream(lok), newCodeStream(lsk), newCodeStream(status)
+	defer csLok.release()
+	defer csLsk.release()
+	defer csStatus.release()
 	for row := 0; row < lt.Rows(); row++ {
-		lcRaw, _ := lok.Code(row)
+		lcRaw, _ := csLok.code(row)
 		oc := liOrderToOrder[lcRaw]
 		if oc < 0 {
 			continue
@@ -692,11 +764,11 @@ func q21(s *colstore.Store) *Result {
 		if orow < 0 {
 			continue
 		}
-		sc0, _ := status.Code(int(orow))
+		sc0, _ := csStatus.code(int(orow))
 		if !fOK || sc0 != fCode {
 			continue
 		}
-		scRaw, _ := lsk.Code(row)
+		scRaw, _ := csLsk.code(row)
 		sc := liSuppToSupp[scRaw]
 		if sc < 0 {
 			continue
@@ -764,8 +836,10 @@ func q22(s *colstore.Store) *Result {
 	// avg positive balance over customers in the code set
 	var sum float64
 	var n int
+	csPhone := newCodeStream(phone)
+	defer csPhone.release()
 	for row := 0; row < ct.Rows(); row++ {
-		pc, _ := phone.Code(row)
+		pc, _ := csPhone.code(row)
 		if inCodes[pc] && bal.Get(row) > 0 {
 			sum += bal.Get(row)
 			n++
@@ -778,14 +852,17 @@ func q22(s *colstore.Store) *Result {
 
 	// Customers with at least one order.
 	ot := s.Table("orders")
-	oCustToCust := colstore.TranslateCodes(ot.Str("o_custkey"), ct.Str("c_custkey"))
+	ocust := ot.Str("o_custkey")
+	oCustToCust := colstore.TranslateCodes(ocust, ct.Str("c_custkey"))
 	hasOrder := make(map[int64]bool)
+	csOCust := newCodeStream(ocust)
 	for row := 0; row < ot.Rows(); row++ {
-		ccRaw, _ := ot.Str("o_custkey").Code(row)
+		ccRaw, _ := csOCust.code(row)
 		if cc := oCustToCust[ccRaw]; cc >= 0 {
 			hasOrder[cc] = true
 		}
 	}
+	csOCust.release()
 
 	type agg struct {
 		n   int
@@ -793,13 +870,15 @@ func q22(s *colstore.Store) *Result {
 	}
 	byCode := make(map[string]*agg)
 	custKey := ct.Str("c_custkey")
+	csCustKey := newCodeStream(custKey)
+	defer csCustKey.release()
 	var buf []byte
 	for row := 0; row < ct.Rows(); row++ {
-		pc, _ := phone.Code(row)
+		pc, _ := csPhone.code(row)
 		if !inCodes[pc] || bal.Get(row) <= avg {
 			continue
 		}
-		kc, _ := custKey.Code(row)
+		kc, _ := csCustKey.code(row)
 		if hasOrder[int64(kc)] {
 			continue
 		}

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Service-layer scale-out gate: drives cmd/loadbench against an in-process
+# sharded server (HTTP + JSON + routing + shard locks + WAL group commit all
+# on the measured path) and writes BENCH_service.json at the repo root.
+#
+# The headline number is ingest scale-out: 4 shards vs 1 shard on a pure
+# ingest workload over persistent stores. Sharding's win is overlapping one
+# shard's WAL fsync with other shards' request processing, so the expected
+# speedup depends on the machine: with >= 4 cores the gate requires >= 2x;
+# on smaller boxes (CI containers are often 1-2 cores) the fsync overlap is
+# serialized onto the same core and the gate only guards against a
+# regression (>= 0.7x — sharding must never make ingest materially slower).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DUR=${DUR:-3s}
+CONC=${CONC:-16}
+BATCH=${BATCH:-500}
+
+go build -o /tmp/loadbench ./cmd/loadbench
+
+/tmp/loadbench -shards 1 -read-frac 0 -duration "$DUR" -concurrency "$CONC" \
+    -batch "$BATCH" -json /tmp/bench_service_1.json
+/tmp/loadbench -shards 4 -read-frac 0 -duration "$DUR" -concurrency "$CONC" \
+    -batch "$BATCH" -json /tmp/bench_service_4.json
+# Mixed run for the query-latency numbers (reads hit the snapshot-pinned
+# count path while writers keep the WAL busy).
+/tmp/loadbench -shards 4 -read-frac 0.2 -duration "$DUR" -concurrency "$CONC" \
+    -batch "$BATCH" -json /tmp/bench_service_mixed.json
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+field() { # file key
+    awk -F': ' '$0 ~ /"'"$2"'"/ { gsub(/[, ]/, "", $2); print $2; exit }' "$1"
+}
+
+i1=$(field /tmp/bench_service_1.json ingest_rows_per_sec)
+i4=$(field /tmp/bench_service_4.json ingest_rows_per_sec)
+bal=$(field /tmp/bench_service_4.json balance)
+p50=$(field /tmp/bench_service_mixed.json query_p50_ms)
+p99=$(field /tmp/bench_service_mixed.json query_p99_ms)
+qps=$(field /tmp/bench_service_mixed.json queries_per_sec)
+
+if [ "$cores" -ge 4 ]; then floor=2.0; else floor=0.7; fi
+
+awk -v i1="$i1" -v i4="$i4" -v bal="$bal" -v p50="$p50" -v p99="$p99" \
+    -v qps="$qps" -v cores="$cores" -v floor="$floor" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"service\",\n"
+    printf "  \"cores\": %d,\n", cores
+    printf "  \"ingest_rows_per_sec\": {\"shards1\": %.0f, \"shards4\": %.0f},\n", i1, i4
+    printf "  \"ingest_speedup\": %.2f,\n", i4 / i1
+    printf "  \"speedup_floor\": %.2f,\n", floor
+    printf "  \"shard_balance\": %.2f,\n", bal
+    printf "  \"mixed_queries_per_sec\": %.0f,\n", qps
+    printf "  \"query_p50_ms\": %.2f,\n", p50
+    printf "  \"query_p99_ms\": %.2f\n", p99
+    printf "}\n"
+}' > BENCH_service.json
+rm -f /tmp/bench_service_1.json /tmp/bench_service_4.json /tmp/bench_service_mixed.json
+
+cat BENCH_service.json
+
+# Gate: hardware-aware scale-out floor (see header comment).
+awk -F': ' '
+/"ingest_speedup":/ { gsub(/[, ]/, "", $2); got = $2 + 0 }
+/"speedup_floor":/  { gsub(/[, ]/, "", $2); floor = $2 + 0 }
+END {
+    if (got < floor) {
+        printf "FAIL: 4-shard ingest speedup %.2fx below floor %.2fx\n", got, floor
+        exit 1
+    }
+    printf "OK: 4-shard ingest speedup %.2fx (floor %.2fx)\n", got, floor
+}' BENCH_service.json

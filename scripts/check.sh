@@ -40,10 +40,23 @@ if [ -f BENCH_incremental_ckpt.json ]; then
     ' BENCH_incremental_ckpt.json
 fi
 
+# Service scale-out floor: re-gate the recorded 4-shard vs 1-shard ingest
+# speedup against the floor the benchmark chose for this hardware (2.0 on
+# >= 4 cores, 0.7 regression guard on smaller boxes — see
+# scripts/bench_service.sh). (make bench-service regenerates
+# BENCH_service.json.)
+if [ -f BENCH_service.json ]; then
+    awk -F': ' '
+    /"ingest_speedup":/ { gsub(/[, ]/, "", $2); got = $2 + 0 }
+    /"speedup_floor":/  { gsub(/[, ]/, "", $2); floor = $2 + 0 }
+    END { if (got < floor) { print "FAIL: service ingest scale-out floor"; exit 1 } }
+    ' BENCH_service.json
+fi
+
 # Torture smoke: the pinned seeds in internal/torture/testdata/seeds.txt
 # replayed deterministically under the race detector (~10s). Every seed
 # drives random append/merge/scan/checkpoint/crash/fault interleavings and
-# holds all four differential oracles after every step. A failure prints
+# holds all five differential oracles after every step. A failure prints
 # the seed; `make torture SEED=<n>` replays it exactly.
 go test -race -count=1 -run 'TestTortureShort' ./internal/torture/
 

@@ -47,6 +47,7 @@ import (
 	"strdict/internal/dict"
 	"strdict/internal/model"
 	"strdict/internal/persist"
+	"strdict/internal/service"
 )
 
 // Format identifies a registered dictionary variant.
@@ -472,6 +473,46 @@ func StartMergeDaemon(ctx context.Context, s *Store, mgr *Manager, opts DaemonOp
 	sched.Start(ctx)
 	return sched
 }
+
+// ServiceServer is the sharded multi-tenant store service: N independent
+// shards (each its own Store, merge daemon and journal), a deterministic
+// (tenant, table) -> shard routing function, and an HTTP JSON API with
+// batched group-committed appends and snapshot-pinned queries. An
+// in-process gossip loop exchanges memory pressure between shards and
+// steers each shard's compression trade-off towards ServiceOptions.
+// MemoryBudget. Mount Handler on any net/http server; Close drains the
+// daemons and closes the journals.
+type ServiceServer = service.Server
+
+// ServiceOptions configures Serve: shard count, journal directory and fsync
+// cadence, the server-wide memory budget the gossip loop steers towards,
+// merge-daemon tuning, and the scan-response row cap.
+type ServiceOptions = service.Options
+
+// ServiceClient is the typed client for the service's /v1 JSON API: Append
+// (batched), CountEq, ScanEq, ScanRange, Locate, Stats and Health.
+type ServiceClient = service.Client
+
+// ServiceAppendItem is one element of a batched ServiceClient.Append: n
+// aligned rows for one (tenant, table), given column-wise.
+type ServiceAppendItem = service.AppendItem
+
+// ServiceAppendResult is the per-item outcome of a batched append.
+type ServiceAppendResult = service.AppendResult
+
+// ServiceScanResult is a scan response: the uncapped match count plus at
+// most ServiceOptions.MaxScanRows row indices.
+type ServiceScanResult = service.ScanResult
+
+// Serve opens a sharded store server. With ServiceOptions.Dir set, every
+// shard recovers its journal from Dir/shard-NNNN and appends are durable
+// once the batch's group commit returns; without a Dir the shards are
+// in-memory. The caller owns serving the returned handler:
+//
+//	srv, err := strdict.Serve(strdict.ServiceOptions{Shards: 4, Dir: dir})
+//	defer srv.Close()
+//	http.ListenAndServe(":8080", srv.Handler())
+func Serve(opts ServiceOptions) (*ServiceServer, error) { return service.New(opts) }
 
 // Advice summarizes the decision space for one column: the pareto-optimal
 // formats and the automatic selection across the trade-off range — the
